@@ -1,0 +1,10 @@
+"""Ablation: ALEX Layout#1 vs Layout#2 (paper Section 4.1)."""
+
+from conftest import run_and_emit
+
+
+def test_ablation_alex_layout(benchmark):
+    result = run_and_emit(benchmark, "ablation-alex-layout")
+    for row in result.rows:
+        # Layout#2 never fetches more blocks than Layout#1.
+        assert row["layout2_blocks"] <= row["layout1_blocks"] + 0.05

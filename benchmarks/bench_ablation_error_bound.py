@@ -1,0 +1,11 @@
+"""Ablation: PLA error bound sweep for FITing-tree and PGM (Section 5.3)."""
+
+from conftest import run_and_emit
+
+
+def test_ablation_error_bound(benchmark):
+    result = run_and_emit(benchmark, "ablation-error-bound")
+    for row in result.rows:
+        # eps=1024 forces multi-block last-mile searches: never cheaper
+        # than the paper's default eps=64.
+        assert row["eps1024"] >= row["eps64"] - 0.05

@@ -1,0 +1,11 @@
+"""Ablation: FITing-tree greedy vs streaming segmentation (Section 4.2)."""
+
+from conftest import run_and_emit
+
+
+def test_ablation_fiting_segmentation(benchmark):
+    result = run_and_emit(benchmark, "ablation-fiting-segmentation")
+    for row in result.rows:
+        # The optimal streaming PLA never needs more segments.
+        assert row["streaming_segments"] <= row["greedy_segments"]
+        assert row["streaming_size_mib"] <= row["greedy_size_mib"] + 0.05

@@ -1,0 +1,10 @@
+"""Extension: LRU vs CLOCK vs FIFO buffer replacement."""
+
+from conftest import run_and_emit
+
+
+def test_buffer_policy(benchmark):
+    result = run_and_emit(benchmark, "buffer-policy")
+    for row in result.rows:
+        # CLOCK approximates LRU within a small margin.
+        assert row["clock_blocks"] <= row["lru_blocks"] * 1.5 + 0.05

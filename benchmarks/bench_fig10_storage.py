@@ -1,0 +1,14 @@
+"""Figure 10: on-disk storage usage after the Write-Only workload."""
+
+from conftest import run_and_emit
+
+
+def test_fig10_storage(benchmark):
+    result = run_and_emit(benchmark, "fig10")
+    for dataset in ("fb", "osm", "ycsb"):
+        rows = {r["index"]: r for r in result.rows if r["dataset"] == dataset}
+        alloc = {name: rows[name]["allocated_mib"] for name in rows}
+        # O16: PGM and the B+-tree are the two smallest; LIPP the largest.
+        smallest_two = sorted(alloc, key=alloc.get)[:2]
+        assert set(smallest_two) == {"pgm", "btree"}
+        assert max(alloc, key=alloc.get) == "lipp"

@@ -1,0 +1,13 @@
+"""Figure 11: fetched blocks per lookup under 4/8/16 KiB blocks."""
+
+from conftest import run_and_emit
+
+
+def test_fig11_blocksize(benchmark):
+    result = run_and_emit(benchmark, "fig11")
+    for row in result.rows:
+        if row["index"] == "lipp":
+            # O17: LIPP gains nothing from larger blocks.
+            assert abs(row["4k"] - row["16k"]) <= 1.0
+        else:
+            assert row["16k"] <= row["4k"] + 0.05

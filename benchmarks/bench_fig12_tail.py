@@ -1,0 +1,21 @@
+"""Figure 12: p99 latency and standard deviation (lookup & write)."""
+
+from conftest import run_and_emit
+
+
+def test_fig12_tail(benchmark):
+    result = run_and_emit(benchmark, "fig12")
+    # O18: the B+-tree has the smallest p99 on the hard dataset and the
+    # most *stable* latency everywhere (tiny std dev); ALEX's and LIPP's
+    # unbalanced structures show order-of-magnitude larger deviations.
+    fb = {r["index"]: r for r in result.rows
+          if r["workload"] == "lookup_only" and r["dataset"] == "fb"}
+    assert fb["btree"]["p99_us"] == min(r["p99_us"] for r in fb.values())
+    for dataset in ("fb", "osm", "ycsb"):
+        rows = {r["index"]: r for r in result.rows
+                if r["workload"] == "lookup_only" and r["dataset"] == dataset}
+        std = {name: rows[name]["std_us"] for name in rows}
+        assert std["btree"] <= min(std.values()) * 1.1
+        if dataset in ("fb", "osm"):
+            assert std["alex"] > 5 * std["btree"]
+            assert std["lipp"] > 5 * std["btree"]

@@ -1,0 +1,22 @@
+"""Figure 13: fetched blocks per lookup under LRU buffer sizes."""
+
+from conftest import run_and_emit
+
+
+def test_fig13_buffer(benchmark):
+    result = run_and_emit(benchmark, "fig13")
+    rows = {(r["dataset"], r["index"]): r for r in result.rows}
+    # Section 6.6: LIPP fetches fewest blocks with no buffer (its low
+    # average tree height only beats the B+-tree where its predictions
+    # are accurate, i.e. on the easy dataset at this scale)...
+    zero = {name: rows[("ycsb", name)]["buf0"]
+            for name in ("btree", "fiting", "pgm", "alex", "lipp")}
+    assert zero["lipp"] == min(zero.values())
+    for dataset in ("fb", "osm", "ycsb"):
+        # ... but large buffers favor the small-upper-level indexes.
+        big = {name: rows[(dataset, name)]["buf512"]
+               for name in ("btree", "fiting", "pgm", "alex", "lipp")}
+        assert big["lipp"] > min(big.values())
+        # Buffers can only reduce fetched blocks.
+        for name in ("btree", "fiting", "pgm", "alex", "lipp"):
+            assert rows[(dataset, name)]["buf512"] <= rows[(dataset, name)]["buf0"] + 0.01

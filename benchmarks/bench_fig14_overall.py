@@ -1,0 +1,15 @@
+"""Figure 14: all six workloads on YCSB and FB, normalized throughput."""
+
+from conftest import run_and_emit
+
+
+def test_fig14_overall(benchmark):
+    result = run_and_emit(benchmark, "fig14")
+    for row in result.rows:
+        # "Except for Lookup-Only workloads, the B+-tree is either
+        # competitive or outperforms learned indexes" — competitive
+        # meaning within ~35% of the winner or beaten only by PGM.
+        if row["workload"] in ("scan_only", "read_heavy", "balanced"):
+            assert row["btree"] >= 0.6, row
+        if row["workload"] == "write_only":
+            assert row["pgm"] == 1.0, row

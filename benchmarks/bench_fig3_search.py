@@ -1,0 +1,21 @@
+"""Figure 3: lookup/scan throughput on HDD and SSD, entire index on disk."""
+
+from conftest import run_and_emit
+
+
+def test_fig3_search(benchmark):
+    result = run_and_emit(benchmark, "fig3")
+    for row in result.rows:
+        if row["device"] == "ssd":
+            # SSD runs the same block counts at lower latency: throughput
+            # must be strictly higher than the HDD row (O1 family).
+            twin = next(r for r in result.rows
+                        if r["device"] == "hdd"
+                        and r["workload"] == row["workload"]
+                        and r["dataset"] == row["dataset"])
+            assert row["btree"] > twin["btree"]
+    # O2: LIPP competitive or best on easy-data lookups.
+    ycsb = next(r for r in result.rows
+                if r["device"] == "hdd" and r["workload"] == "lookup_only"
+                and r["dataset"] == "ycsb")
+    assert ycsb["lipp"] >= ycsb["btree"]

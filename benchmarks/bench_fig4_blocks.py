@@ -1,0 +1,16 @@
+"""Table 4 / Figure 4: fetched block breakdown (inner vs leaf) per query."""
+
+from conftest import run_and_emit
+
+
+def test_table4_blocks(benchmark):
+    result = run_and_emit(benchmark, "table4")
+    rows = {(r["workload"], r["dataset"], r["index"]): r for r in result.rows}
+    # The B+-tree reads exactly one leaf block per lookup.
+    for dataset in ("fb", "osm", "ycsb"):
+        assert rows[("lookup_only", dataset, "btree")]["leaf_blocks"] == 1.0
+    # O5: ALEX and LIPP fetch the most blocks for scans.
+    for dataset in ("fb", "osm", "ycsb"):
+        scan = {name: rows[("scan_only", dataset, name)]["total_blocks"]
+                for name in ("btree", "fiting", "pgm", "alex", "lipp")}
+        assert sorted(scan, key=scan.get)[-1] == "lipp"

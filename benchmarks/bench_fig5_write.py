@@ -1,0 +1,24 @@
+"""Figure 5: write-workload throughput on HDD and SSD."""
+
+from conftest import run_and_emit
+
+
+def test_fig5_write(benchmark):
+    result = run_and_emit(benchmark, "fig5")
+    for row in result.rows:
+        if row["workload"] == "write_only":
+            # O6: PGM wins Write-Only.  On the HDD profile it wins
+            # outright; on SSD the compressed random/sequential cost
+            # ratio combined with our scaled-down B+-tree height (3
+            # levels instead of the paper's 4) lets the B+-tree tie —
+            # PGM must still beat every learned index and stay within
+            # 15% of the B+-tree.
+            best = max(("btree", "fiting", "pgm", "alex", "lipp"),
+                       key=lambda name: row[name])
+            if row["device"] == "hdd":
+                assert best == "pgm", row
+            else:
+                assert best in ("pgm", "btree"), row
+                assert row["pgm"] >= 0.85 * row["btree"], row
+            for name in ("fiting", "alex", "lipp"):
+                assert row["pgm"] > row[name], row

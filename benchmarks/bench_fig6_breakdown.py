@@ -1,0 +1,16 @@
+"""Figure 6: per-insert step latency breakdown (search/insert/SMO/maintenance)."""
+
+from conftest import run_and_emit
+
+
+def test_fig6_breakdown(benchmark):
+    result = run_and_emit(benchmark, "fig6")
+    rows = {(r["dataset"], r["index"]): r for r in result.rows}
+    for dataset in ("fb", "ycsb"):
+        # LIPP updates every node on the path: its maintenance step
+        # dominates the other indexes' (paper Section 6.1.3).
+        lipp = rows[(dataset, "lipp")]["maintenance_us"]
+        for name in ("btree", "fiting", "pgm"):
+            assert lipp > rows[(dataset, name)]["maintenance_us"]
+        # PGM's amortized writes keep its insert step cheap.
+        assert rows[(dataset, "pgm")]["search_us"] <= rows[(dataset, "btree")]["search_us"]

@@ -1,0 +1,15 @@
+"""Figure 7: bulkload time and index size."""
+
+from conftest import run_and_emit
+
+
+def test_fig7_bulkload(benchmark):
+    result = run_and_emit(benchmark, "fig7")
+    for dataset in ("fb", "osm", "ycsb"):
+        rows = {r["index"]: r for r in result.rows if r["dataset"] == dataset}
+        sizes = {name: rows[name]["size_mib"] for name in rows}
+        # O11: PGM smallest, LIPP largest; learned indexes build slower
+        # than the B+-tree.
+        assert sizes["pgm"] == min(sizes.values())
+        assert sizes["lipp"] == max(sizes.values())
+        assert rows["lipp"]["bulkload_sim_s"] > rows["btree"]["bulkload_sim_s"]

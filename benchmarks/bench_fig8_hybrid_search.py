@@ -1,0 +1,12 @@
+"""Figure 8: search throughput with memory-resident inner nodes."""
+
+from conftest import run_and_emit
+
+
+def test_fig8_hybrid_search(benchmark):
+    result = run_and_emit(benchmark, "fig8")
+    # O13: FITing-tree and PGM are competitive with the B+-tree; ALEX is
+    # not (its leaves still cost 2+ blocks).
+    for row in result.rows:
+        if row["workload"] == "lookup_only" and row["device"] == "hdd":
+            assert row["alex"] < max(row["btree"], row["fiting"], row["pgm"])

@@ -1,0 +1,15 @@
+"""Figure 9: write throughput with memory-resident inner nodes."""
+
+from conftest import run_and_emit
+
+
+def test_fig9_hybrid_write(benchmark):
+    result = run_and_emit(benchmark, "fig9")
+    # O15: the B+-tree outperforms the learned indexes across the write
+    # workloads once inner nodes are memory-resident (balanced workload
+    # is the cleanest case: PGM loses its write advantage to reads).
+    for row in result.rows:
+        if row["workload"] == "balanced":
+            best = max(("btree", "fiting", "pgm", "alex"),
+                       key=lambda name: row[name])
+            assert best == "btree", row

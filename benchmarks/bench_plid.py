@@ -1,0 +1,14 @@
+"""Extension: PLID (the paper's design principles P1-P5) vs the field."""
+
+from conftest import run_and_emit
+
+
+def test_plid(benchmark):
+    result = run_and_emit(benchmark, "plid")
+    for row in result.rows:
+        learned = max(row[name] for name in ("fiting", "pgm", "alex", "lipp"))
+        if row["workload"] in ("lookup_only", "scan_only"):
+            # P1/P3/P4 pay off where learned indexes struggle on disk.
+            assert row["plid"] >= 0.9 * row["btree"], row
+        if row["workload"] == "scan_only":
+            assert row["plid"] > 0.95 * learned, row

@@ -1,0 +1,10 @@
+"""Scalability: the paper's 800M-key OSM experiment, scaled."""
+
+from conftest import run_and_emit
+
+
+def test_scalability(benchmark):
+    result = run_and_emit(benchmark, "scalability")
+    for row in result.rows:
+        # Quadrupling N adds at most ~2 blocks per lookup (logarithmic).
+        assert row["4x_blocks"] <= row["1x_blocks"] + 2.5, row

@@ -1,0 +1,11 @@
+"""Table 2: worst-case I/O cost formulas vs measured block counts."""
+
+from conftest import run_and_emit
+
+
+def test_table2_cost_model(benchmark):
+    result = run_and_emit(benchmark, "table2")
+    # The measured counts must stay within the same magnitude as the
+    # analytic bounds (they are worst cases, so measured <= ~2x formula).
+    for row in result.rows:
+        assert row["measured_blocks"] < 12

@@ -1,0 +1,13 @@
+"""Table 3: dataset profiling (PLA segments, B+-tree leaves, conflict degree)."""
+
+from conftest import run_and_emit
+
+
+def test_table3_profiling(benchmark):
+    result = run_and_emit(benchmark, "table3")
+    seg = {row["dataset"]: row["seg@64"] for row in result.rows}
+    cd = {row["dataset"]: row["conflict_degree"] for row in result.rows}
+    # The paper's hardness ordering (the property every experiment rests on).
+    assert seg["fb"] == max(v for k, v in seg.items() if k != "osm_800m")
+    assert cd["osm"] >= max(v for k, v in cd.items() if k != "osm_800m")
+    assert seg["ycsb"] < seg["fb"] / 10

@@ -1,0 +1,14 @@
+"""Table 5: hybrid design (learned inner + B+-tree leaves) block counts."""
+
+from conftest import run_and_emit
+
+
+def test_table5_hybrid(benchmark):
+    result = run_and_emit(benchmark, "table5")
+    rows = {(r["dataset"], r["index"]): r for r in result.rows}
+    for dataset in ("fb", "ycsb"):
+        # Scan costs stay within ~2 blocks of lookup costs: the dense
+        # B+-tree-styled leaves fix ALEX's and LIPP's scan problem.
+        for name in ("hybrid-alex", "hybrid-lipp"):
+            row = rows[(dataset, name)]
+            assert row["scan_blocks"] - row["lookup_blocks"] < 3.0

@@ -1,0 +1,11 @@
+"""Extension: zipfian access vs the LRU buffer (P5 co-design)."""
+
+from conftest import run_and_emit
+
+
+def test_zipfian_buffer(benchmark):
+    result = run_and_emit(benchmark, "zipfian-buffer")
+    for row in result.rows:
+        # Skew must make the buffer dramatically more effective.
+        assert row["zipfian_blocks"] < row["uniform_blocks"]
+        assert row["skew_benefit_pct"] > 50

@@ -1,0 +1,45 @@
+"""Shared plumbing for the benchmark suite.
+
+Each ``bench_*`` file regenerates one table/figure of the paper: the
+pytest-benchmark timer wraps the full experiment, the resulting rows are
+printed and archived under ``benchmarks/results/``.
+
+Scale: benchmarks default to 50% of the library's default experiment
+scale — large enough for the paper's tree-height relationships (a
+3-level B+-tree) while the whole suite finishes in minutes.  Set
+``REPRO_BENCH_SCALE`` (e.g. ``1.0`` or ``4.0``) for larger runs.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+from repro.bench import ExperimentResult, Scale, default_scale, format_result
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_scale() -> Scale:
+    factor = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+    return default_scale().scaled(factor)
+
+
+def emit(result: ExperimentResult) -> None:
+    """Print the regenerated table and archive it."""
+    text = format_result(result)
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{result.experiment_id}.txt").write_text(text)
+
+
+def run_and_emit(benchmark, experiment_id: str) -> ExperimentResult:
+    """Time one full experiment regeneration and archive its rows."""
+    from repro.bench import run_experiment
+
+    scale = bench_scale()
+    result = benchmark.pedantic(
+        run_experiment, args=(experiment_id, scale), rounds=1, iterations=1)
+    emit(result)
+    return result

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Demonstrate the paper's design principles P1-P5 with live measurements.
+
+Section 7.2 of the paper distills the evaluation into five design
+choices for future on-disk learned indexes.  This example measures each
+one with the library:
+
+* **P1 (reduce tree height)** — lookup blocks vs tree height across
+  the five indexes.
+* **P2 (lightweight SMOs)** — the SMO + maintenance share of insert
+  latency, per index.
+* **P3 (cheap next-item fetch)** — scan cost of gapped layouts (ALEX,
+  LIPP) vs dense layouts (B+-tree, FITing, PGM).
+* **P4 (storage layout)** — model-in-parent (FITing/PGM) vs
+  model-in-node (ALEX/LIPP): leaf blocks touched per lookup.
+* **P5 (co-design with the buffer)** — the hybrid design: learned inner
+  part over B+-tree-style leaves, with and without a memory-resident
+  inner part.
+
+Run:  python examples/design_principles.py
+"""
+
+from __future__ import annotations
+
+from repro import HDD, BlockDevice, Pager, index_names, make_index
+from repro.datasets import make_dataset
+from repro.workloads import WORKLOADS, build_workload, run_workload
+
+N_KEYS = 60_000
+N_OPS = 1_500
+
+
+def build(name, items, **params):
+    device = BlockDevice(4096, HDD)
+    index = make_index(name, Pager(device), **params)
+    index.bulk_load(items)
+    return index
+
+
+def main() -> None:
+    keys = make_dataset("fb", N_KEYS)
+    bulk, lookups = build_workload(WORKLOADS["lookup_only"], keys, N_OPS)
+    _, scans = build_workload(WORKLOADS["scan_only"], keys, N_OPS // 4)
+
+    print("P1 - tree height vs lookup blocks (FB dataset)")
+    print(f"  {'index':8} {'height':>6} {'blocks/lookup':>14}")
+    for name in index_names():
+        index = build(name, bulk)
+        res = run_workload(index, lookups)
+        print(f"  {name:8} {index.height():>6} {res.blocks_read_per_op:>14.2f}")
+
+    print("\nP2 - SMO + maintenance share of insert time")
+    wkeys = make_dataset("fb", 20_000)
+    wbulk, inserts = build_workload(WORKLOADS["write_only"], wkeys, 8_000)
+    print(f"  {'index':8} {'total us':>9} {'smo us':>8} {'maint us':>9} {'share':>7}")
+    for name in index_names():
+        index = build(name, wbulk)
+        res = run_workload(index, inserts)
+        smo = res.phase_latency_us("smo")
+        maint = res.phase_latency_us("maintenance")
+        share = (smo + maint) / max(res.mean_latency_us, 1e-9)
+        print(f"  {name:8} {res.mean_latency_us:>9.0f} {smo:>8.0f} "
+              f"{maint:>9.0f} {share:>6.0%}")
+
+    print("\nP3 - scan cost: dense layouts vs gapped layouts")
+    print(f"  {'index':8} {'blocks/scan(100)':>17}")
+    for name in index_names():
+        index = build(name, bulk)
+        res = run_workload(index, scans, scan_length=100)
+        print(f"  {name:8} {res.blocks_read_per_op:>17.2f}")
+
+    print("\nP4 - model placement: leaf blocks per lookup")
+    print("  model in parent (FITing, PGM) vs model in node (ALEX, LIPP)")
+    for name in ("fiting", "pgm", "alex", "lipp"):
+        index = build(name, bulk)
+        res = run_workload(index, lookups)
+        leaf = res.leaf_blocks_per_op if name != "lipp" else res.blocks_read_per_op
+        print(f"  {name:8} {leaf:>14.2f}")
+
+    print("\nP5 - the hybrid design (learned inner + B+-tree leaves)")
+    print("  plid = this repo's instantiation of all five principles")
+    print(f"  {'variant':22} {'blocks/lookup':>14} {'blocks/scan':>12}")
+    for name in ("btree", "hybrid-pgm", "hybrid-lipp", "plid"):
+        for resident in (False, True):
+            index = build(name, bulk)
+            if resident:
+                try:
+                    index.set_inner_memory_resident(True)
+                except NotImplementedError:
+                    continue
+            res_l = run_workload(index, lookups)
+            res_s = run_workload(index, scans, scan_length=100)
+            label = f"{name}{' +RAM inner' if resident else ''}"
+            print(f"  {label:22} {res_l.blocks_read_per_op:>14.2f} "
+                  f"{res_s.blocks_read_per_op:>12.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""OLTP-style mixed workload: which index should back a write-hot table?
+
+The motivating scenario of the paper's introduction: an OLTP table whose
+index does not fit in RAM.  We replay the paper's Balanced workload
+(50% inserts / 50% lookups, interleaved 10-and-10 per round) over a
+skewed, FB-like key distribution on both an HDD and an SSD, and report
+throughput, tail latency and write amplification per index.
+
+Run:  python examples/oltp_workload.py
+"""
+
+from __future__ import annotations
+
+from repro import HDD, SSD, BlockDevice, Pager, index_names, make_index
+from repro.datasets import make_dataset
+from repro.workloads import WORKLOADS, build_workload, run_workload
+
+BULK_KEYS = 20_000
+NUM_OPS = 10_000
+
+
+def main() -> None:
+    spec = WORKLOADS["balanced"]
+    num_inserts = sum(1 for i in range(NUM_OPS)
+                      if spec.round_pattern[i % len(spec.round_pattern)] == "I")
+    keys = make_dataset("fb", BULK_KEYS + num_inserts)
+    bulk_items, ops = build_workload(spec, keys, NUM_OPS)
+
+    for profile in (HDD, SSD):
+        print(f"\n=== Balanced workload on {profile.name.upper()} "
+              f"({BULK_KEYS} keys bulk loaded, {NUM_OPS} ops) ===")
+        print(f"{'index':8} {'ops/s':>10} {'p99 ms':>8} {'writes/op':>10} "
+              f"{'storage MiB':>12}")
+        print("-" * 54)
+        for name in index_names():
+            device = BlockDevice(block_size=4096, profile=profile)
+            index = make_index(name, Pager(device))
+            index.bulk_load(bulk_items)
+            result = run_workload(index, ops, workload="balanced")
+            print(f"{name:8} {result.throughput_ops_per_s:>10.0f} "
+                  f"{result.p99_latency_us / 1000:>8.2f} "
+                  f"{result.blocks_written_per_op:>10.2f} "
+                  f"{device.allocated_bytes / 2**20:>12.2f}")
+
+    print("\nThe paper's O9 in action: on disk, write amplification decides "
+          "the mixed-workload ranking, and the B+-tree's cheap in-block "
+          "inserts keep it first or second.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""repro — disk-resident updatable learned indexes.
+
+A ground-up Python reproduction of *"Updatable Learned Indexes Meet
+Disk-Resident DBMS — From Evaluations to Design Choices"* (Lan, Bao,
+Culpepper, Borovica-Gajic; SIGMOD / PACMMOD 2023).
+
+Quick start::
+
+    from repro import BlockDevice, Pager, HDD, make_index
+
+    device = BlockDevice(block_size=4096, profile=HDD)
+    index = make_index("alex", Pager(device))
+    index.bulk_load([(k, k + 1) for k in range(0, 1_000_000, 10)])
+    index.insert(5, 6)
+    assert index.lookup(5) == 6
+    print(device.stats.reads, "blocks fetched so far")
+
+Packages:
+
+* :mod:`repro.storage` — simulated block device, pager, LRU buffer pool,
+  HDD/SSD latency profiles.
+* :mod:`repro.models` — linear models, optimal/greedy PLA segmentation,
+  FMCD.
+* :mod:`repro.core` — the five on-disk indexes (B+-tree, FITing-tree,
+  PGM, ALEX, LIPP) and the Table 5 hybrid designs.
+* :mod:`repro.datasets` — the eleven synthetic datasets + Table 3
+  profiling.
+* :mod:`repro.workloads` — the six workload types and the metric runner.
+* :mod:`repro.bench` — one experiment per paper table/figure
+  (``python -m repro.bench all``).
+"""
+
+from .core import (
+    AlexIndex,
+    BTreeIndex,
+    DiskIndex,
+    FitingTreeIndex,
+    HybridIndex,
+    LippIndex,
+    PgmIndex,
+    PlidIndex,
+    index_names,
+    load_index,
+    make_index,
+    save_index,
+)
+from .datasets import dataset_names, make_dataset, profile_dataset
+from .models import LinearModel, optimal_segments, shrinking_cone_segments
+from .storage import HDD, SSD, BlockDevice, BufferPool, DiskProfile, Pager
+from .workloads import WORKLOADS, build_workload, run_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlexIndex",
+    "BTreeIndex",
+    "BlockDevice",
+    "BufferPool",
+    "DiskIndex",
+    "DiskProfile",
+    "FitingTreeIndex",
+    "HDD",
+    "HybridIndex",
+    "LinearModel",
+    "LippIndex",
+    "Pager",
+    "PgmIndex",
+    "PlidIndex",
+    "SSD",
+    "WORKLOADS",
+    "__version__",
+    "build_workload",
+    "dataset_names",
+    "index_names",
+    "make_dataset",
+    "load_index",
+    "make_index",
+    "save_index",
+    "optimal_segments",
+    "profile_dataset",
+    "run_workload",
+    "shrinking_cone_segments",
+]

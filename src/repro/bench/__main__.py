@@ -1,0 +1,77 @@
+"""CLI for regenerating the paper's tables and figures.
+
+Usage::
+
+    python -m repro.bench list
+    python -m repro.bench run table3
+    python -m repro.bench run fig5 --scale 0.5
+    python -m repro.bench all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .config import default_scale
+from .experiments import experiment_ids, run_experiment
+from .report import format_result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiment ids")
+    run_parser = sub.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", choices=experiment_ids())
+    run_parser.add_argument("--scale", type=float, default=None,
+                            help="multiply all sizes by this factor")
+    run_parser.add_argument("--chart", metavar="COLUMN", default=None,
+                            help="also render COLUMN as an ASCII bar chart")
+    all_parser = sub.add_parser("all", help="run every experiment")
+    all_parser.add_argument("--scale", type=float, default=None)
+    report_parser = sub.add_parser(
+        "report", help="assemble EXPERIMENTS.md from archived benchmark results")
+    report_parser.add_argument("--results", default="benchmarks/results")
+    report_parser.add_argument("--out", default="EXPERIMENTS.md")
+
+    args = parser.parse_args(argv)
+    if args.command == "report":
+        from .experiments_doc import render_experiments_md
+
+        text = render_experiments_md(args.results)
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.out} ({len(text.splitlines())} lines)")
+        return 0
+    if args.command == "list":
+        for experiment_id in experiment_ids():
+            print(experiment_id)
+        return 0
+
+    scale = default_scale()
+    if args.scale is not None:
+        scale = scale.scaled(args.scale)
+
+    targets = experiment_ids() if args.command == "all" else [args.experiment]
+    for experiment_id in targets:
+        started = time.time()
+        result = run_experiment(experiment_id, scale)
+        print(format_result(result))
+        chart_column = getattr(args, "chart", None)
+        if chart_column:
+            from .report import format_chart
+
+            label_columns = [c for c in result.column_names()
+                             if c != chart_column][:3]
+            print(format_chart(result.rows, label_columns, chart_column))
+            print()
+        print(f"[{experiment_id} took {time.time() - started:.1f}s wall clock]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,106 @@
+"""Experiment scales and shared experiment plumbing.
+
+The paper runs 200M-key bulk loads and 10M-op workloads on real disks;
+the default scale here is chosen so the *entire* table/figure suite runs
+in minutes of wall-clock time while preserving every comparative result
+(see DESIGN.md for the substitution argument).  Every size can be scaled
+with the ``REPRO_SCALE`` environment variable or per-call overrides.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..core import DiskIndex, make_index
+from ..datasets import make_dataset
+from ..storage import HDD, SSD, BlockDevice, BufferPool, DiskProfile, Pager
+from ..workloads import WORKLOADS, build_workload, bulk_load_timed
+
+__all__ = ["Scale", "default_scale", "IndexSetup", "fresh_index", "PROFILES"]
+
+PROFILES = {"hdd": HDD, "ssd": SSD}
+
+
+@dataclass(frozen=True)
+class Scale:
+    """All experiment sizes, scaled from the paper by a constant factor.
+
+    Paper values: 200M keys for read-only workloads (800M for the
+    scalability set), 10M bulk + 10M ops for write workloads, 200K
+    sampled lookups.  The default divides key counts by 1000 and op
+    counts by about 20 (operations dominate Python wall-clock).
+    """
+
+    n_read: int = 200_000       # keys bulk loaded for read-only workloads
+    n_write_bulk: int = 30_000  # keys bulk loaded before write workloads
+    n_write_ops: int = 30_000   # operations in write / mixed workloads
+    n_lookup_ops: int = 2_000   # sampled lookups (paper: 200K)
+    n_scan_ops: int = 400       # scan operations (scans cost ~100x a lookup)
+    scan_length: int = 100      # elements per scan (paper: 100)
+    block_size: int = 4096
+    seed: int = 42
+
+    def scaled(self, factor: float) -> "Scale":
+        return replace(
+            self,
+            n_read=int(self.n_read * factor),
+            n_write_bulk=int(self.n_write_bulk * factor),
+            n_write_ops=int(self.n_write_ops * factor),
+            n_lookup_ops=int(self.n_lookup_ops * factor),
+            n_scan_ops=int(self.n_scan_ops * factor),
+        )
+
+
+def default_scale() -> Scale:
+    """The default scale, honoring the ``REPRO_SCALE`` env multiplier."""
+    scale = Scale()
+    factor = os.environ.get("REPRO_SCALE")
+    if factor:
+        scale = scale.scaled(float(factor))
+    return scale
+
+
+@dataclass
+class IndexSetup:
+    """One bulk-loaded index with its device, pager and workload stream."""
+
+    index: DiskIndex
+    device: BlockDevice
+    pager: Pager
+    bulk_items: list
+    ops: list
+    bulkload_us: float
+
+
+def fresh_index(index_name: str, dataset: str, workload: str, scale: Scale,
+                profile: DiskProfile = HDD, block_size: Optional[int] = None,
+                buffer_blocks: int = 0, index_params: Optional[dict] = None,
+                inner_memory_resident: bool = False) -> IndexSetup:
+    """Build a device + index + workload for one experiment cell."""
+    spec = WORKLOADS[workload]
+    if spec.bulk_all:
+        n_keys = scale.n_read
+        num_ops = scale.n_scan_ops if "S" in spec.round_pattern else scale.n_lookup_ops
+    else:
+        num_ops = scale.n_write_ops
+        num_inserts = sum(
+            1 for i in range(num_ops)
+            if spec.round_pattern[i % len(spec.round_pattern)] == "I"
+        )
+        # The dataset provides the bulk-loaded keys plus the withheld
+        # insert keys, so the bulk size matches the paper's setup exactly.
+        n_keys = scale.n_write_bulk + num_inserts
+    keys = make_dataset(dataset, n_keys, seed=scale.seed)
+    bulk_items, ops = build_workload(spec, keys, num_ops, seed=scale.seed)
+
+    device = BlockDevice(block_size or scale.block_size, profile)
+    pool = BufferPool(buffer_blocks) if buffer_blocks > 0 else None
+    pager = Pager(device, buffer_pool=pool)
+    index = make_index(index_name, pager, **(index_params or {}))
+    bulkload_us = bulk_load_timed(index, bulk_items)
+    if inner_memory_resident:
+        index.set_inner_memory_resident(True)
+    return IndexSetup(index=index, device=device, pager=pager,
+                      bulk_items=bulk_items, ops=ops, bulkload_us=bulkload_us)

@@ -1,0 +1,206 @@
+"""Generate EXPERIMENTS.md from archived benchmark results.
+
+``python -m repro.bench report`` stitches the paper's expected outcome
+for every table/figure together with the measured rows archived by the
+benchmark suite under ``benchmarks/results/``, producing the
+paper-vs-measured record the repository ships as EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, Optional
+
+__all__ = ["render_experiments_md", "PAPER_EXPECTATIONS"]
+
+#: Per experiment: (paper artifact, what the paper reports, the shape that
+#: must reproduce, known scale caveats).
+PAPER_EXPECTATIONS: Dict[str, Dict[str, str]] = {
+    "table2": {
+        "artifact": "Table 2",
+        "paper": "Worst-case I/O cost formulas per index (lookup/scan/insert).",
+        "shape": "Measured lookup block counts stay within the formulas' "
+                 "magnitude and preserve their ordering.",
+    },
+    "table3": {
+        "artifact": "Table 3",
+        "paper": "Dataset profiling: PLA segments at eps 16/64/256/1024, "
+                 "B+-tree leaf count, FMCD conflict degree. FB hardest for "
+                 "PLA; OSM the largest conflict degree; YCSB/Stack easiest.",
+        "shape": "Same orderings on the synthetic datasets: FB max segments, "
+                 "OSM max conflict degree (>2x genome), YCSB/Stack minimal "
+                 "on both metrics.",
+    },
+    "fig3": {
+        "artifact": "Figure 3",
+        "paper": "Lookup/scan throughput, all-disk, HDD+SSD. Learned indexes "
+                 "competitive on lookups (LIPP best); B+-tree wins scans.",
+        "shape": "LIPP >= B+-tree on YCSB lookups; B+-tree tops scans; every "
+                 "SSD number strictly above its HDD twin.",
+    },
+    "table4": {
+        "artifact": "Table 4 / Figure 4",
+        "paper": "Fetched blocks split into inner/leaf. B+-tree: 3 inner + 1 "
+                 "leaf. FITing/PGM leaf ~1.2; ALEX >= 2 leaf blocks (model "
+                 "and slot in different blocks); LIPP ~20-30 blocks per scan.",
+        "shape": "B+-tree exactly 1 leaf block per lookup; ALEX >= 2 leaf "
+                 "blocks; LIPP the scan maximum by a wide margin.",
+    },
+    "table5": {
+        "artifact": "Table 5",
+        "paper": "Hybrid design (learned inner + B+-tree leaves): similar or "
+                 "better than B+-tree on FB/YCSB; fixes ALEX/LIPP scans.",
+        "shape": "Hybrid ALEX/LIPP scan within ~2 blocks of their lookups "
+                 "(vs 10-60 blocks for the originals).",
+    },
+    "fig5": {
+        "artifact": "Figure 5",
+        "paper": "Write workloads: PGM wins Write-Only everywhere; B+-tree "
+                 "beats the other learned indexes; ALEX/LIPP collapse.",
+        "shape": "PGM wins Write-Only on HDD and beats every learned index "
+                 "on SSD. Scale caveat: our 3-level B+-tree (paper: 4) ties "
+                 "PGM on the SSD profile.",
+    },
+    "fig6": {
+        "artifact": "Figure 6",
+        "paper": "Insert step breakdown: LIPP dominated by maintenance "
+                 "(path statistics) and SMO; ALEX by insertion+bitmap; PGM "
+                 "cheapest search.",
+        "shape": "LIPP's maintenance latency the largest of all indexes; "
+                 "PGM search <= B+-tree search.",
+    },
+    "fig7": {
+        "artifact": "Figure 7",
+        "paper": "Bulkload: learned indexes build slower and bigger; PGM "
+                 "smallest, LIPP largest (gapped 5x slot allocation).",
+        "shape": "Size: PGM < B+-tree < FITing < ALEX << LIPP; LIPP builds "
+                 "slowest.",
+    },
+    "fig8": {
+        "artifact": "Figure 8",
+        "paper": "Inner nodes memory-resident: FITing/PGM competitive with "
+                 "B+-tree on search; ALEX is not (its leaves still cost 2+ "
+                 "blocks). LIPP excluded (single node type, multi-GB root).",
+        "shape": "ALEX below the best of B+-tree/FITing/PGM on lookups.",
+    },
+    "fig9": {
+        "artifact": "Figure 9",
+        "paper": "Inner nodes memory-resident, write workloads: B+-tree "
+                 "outperforms everything (O15).",
+        "shape": "B+-tree wins the balanced workload on every dataset/device.",
+    },
+    "fig10": {
+        "artifact": "Figure 10",
+        "paper": "Storage after Write-Only: PGM and B+-tree smallest "
+                 "(reclaimable space), LIPP up to 20x larger.",
+        "shape": "Smallest two = {PGM, B+-tree}; LIPP the largest.",
+    },
+    "fig11": {
+        "artifact": "Figure 11",
+        "paper": "Block size 4->16 KiB reduces fetched blocks for B+-tree/"
+                 "FITing/PGM/ALEX; LIPP flat (exact predictions).",
+        "shape": "Monotone non-increasing for all but LIPP; LIPP within 1 "
+                 "block across sizes.",
+    },
+    "fig12": {
+        "artifact": "Figure 12",
+        "paper": "Tail latency: B+-tree smallest, most stable p99; ALEX/LIPP "
+                 "large deviations (unbalanced structure, SMO spikes).",
+        "shape": "B+-tree minimal p99 on FB and minimal std everywhere; "
+                 "ALEX/LIPP std > 5x B+-tree on hard datasets. Scale caveat: "
+                 "PGM's shallow level stack lets it tie p99 on OSM.",
+    },
+    "fig13": {
+        "artifact": "Figure 13",
+        "paper": "LRU buffer sweep: LIPP fewest blocks at buffer 0; beyond "
+                 "~8 blocks the small-upper-level indexes overtake it.",
+        "shape": "LIPP min at buffer 0 (YCSB); LIPP not the minimum at 512 "
+                 "blocks; buffers never increase fetched blocks.",
+    },
+    "fig14": {
+        "artifact": "Figure 14",
+        "paper": "Normalized throughput, all six workloads on YCSB+FB: "
+                 "except Lookup-Only, B+-tree competitive or best.",
+        "shape": "B+-tree >= 0.6 normalized on scan/read-heavy/balanced; "
+                 "PGM = 1.0 on Write-Only.",
+    },
+    "ablation-alex-layout": {
+        "artifact": "Section 4.1 (prose)",
+        "paper": "ALEX Layout#2 0.5%-30% faster than Layout#1 on lookups.",
+        "shape": "Layout#2 never fetches more blocks; speedups up to ~30% "
+                 "on the hard datasets, ~0% on YCSB.",
+    },
+    "ablation-fiting-segmentation": {
+        "artifact": "Section 4.2 (prose)",
+        "paper": "The port replaces greedy segmentation with PGM's optimal "
+                 "streaming algorithm.",
+        "shape": "Streaming produces <= greedy's segment count and storage.",
+    },
+    "ablation-error-bound": {
+        "artifact": "Section 5.3 (prose)",
+        "paper": "Error bound 64 chosen: best across the majority of cases.",
+        "shape": "eps=1024 never beats eps=64 on lookup blocks.",
+    },
+    "scalability": {
+        "artifact": "Section 5.1 (800M dataset)",
+        "paper": "The 4x OSM dataset for scalability.",
+        "shape": "Lookup blocks grow at most logarithmically over 4x keys.",
+    },
+    "zipfian-buffer": {
+        "artifact": "Extension (P5)",
+        "paper": "—",
+        "shape": "Zipfian access turns a small LRU buffer into a ~90% "
+                 "fetch reduction for every index.",
+    },
+    "plid": {
+        "artifact": "Section 7.2 (P1-P5, future work)",
+        "paper": "Proposes four design principles + buffer co-design for "
+                 "future on-disk learned indexes; builds none.",
+        "shape": "PLID (the principles instantiated) beats every *learned* "
+                 "index on scans and mixed workloads and matches or beats "
+                 "the B+-tree on lookups — the sweet spot the paper "
+                 "conjectures exists.",
+    },
+    "buffer-policy": {
+        "artifact": "Extension (Section 6.6)",
+        "paper": "The paper fixes LRU.",
+        "shape": "CLOCK tracks LRU closely; FIFO slightly worse.",
+    },
+}
+
+_HEADER = """\
+# EXPERIMENTS — paper vs. measured
+
+Every table and figure of the paper's evaluation, regenerated by this
+repository's benchmark suite (`pytest benchmarks/ --benchmark-only`) on
+the simulated block device at the scaled-down defaults (see DESIGN.md
+for scales and the substitution argument).  Absolute numbers differ from
+the authors' hardware by construction; the *shape* — who wins, by
+roughly what factor, where crossovers fall — is what each entry records,
+and the shape assertions are executable (`tests/test_paper_shape.py` and
+the `benchmarks/bench_*.py` assertions).
+
+Regenerate this file with `python -m repro.bench report` after a
+benchmark run.
+"""
+
+
+def render_experiments_md(results_dir: str = "benchmarks/results") -> str:
+    """Assemble the EXPERIMENTS.md text from archived result tables."""
+    directory = pathlib.Path(results_dir)
+    sections = [_HEADER]
+    for experiment_id, info in PAPER_EXPECTATIONS.items():
+        sections.append(f"\n## {info['artifact']} (`{experiment_id}`)\n")
+        sections.append(f"**Paper:** {info['paper']}\n")
+        sections.append(f"**Reproduced shape:** {info['shape']}\n")
+        measured: Optional[str] = None
+        path = directory / f"{experiment_id}.txt"
+        if path.exists():
+            measured = path.read_text().rstrip()
+        if measured:
+            sections.append("\n<details><summary>Measured rows</summary>\n")
+            sections.append("```\n" + measured + "\n```")
+            sections.append("</details>\n")
+        else:
+            sections.append("\n*(no archived result yet — run the benchmark suite)*\n")
+    return "\n".join(sections) + "\n"

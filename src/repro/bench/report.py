@@ -1,0 +1,56 @@
+"""Plain-text rendering of experiment results."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .experiments import ExperimentResult
+
+__all__ = ["format_result", "format_table", "format_chart"]
+
+
+def format_table(rows: List[dict], columns: List[str]) -> str:
+    """Render rows as an aligned ASCII table."""
+    if not rows:
+        return "(no rows)"
+    widths = {
+        col: max(len(col), *(len(str(row.get(col, ""))) for row in rows))
+        for col in columns
+    }
+    header = "  ".join(col.ljust(widths[col]) for col in columns)
+    rule = "-" * len(header)
+    lines = [header, rule]
+    for row in rows:
+        lines.append("  ".join(str(row.get(col, "")).ljust(widths[col])
+                               for col in columns))
+    return "\n".join(lines)
+
+
+def format_chart(rows, label_columns, value_column, width: int = 48) -> str:
+    """Render one numeric column as horizontal ASCII bars.
+
+    ``label_columns`` name the columns concatenated into each bar label;
+    ``value_column`` is the numeric series to draw.
+    """
+    values = [float(row.get(value_column, 0) or 0) for row in rows]
+    if not values:
+        return "(no rows)"
+    peak = max(values) or 1.0
+    labels = [
+        " ".join(str(row.get(col, "")) for col in label_columns)
+        for row in rows
+    ]
+    label_width = max(len(label) for label in labels)
+    lines = [f"{value_column} (peak {peak:g})"]
+    for label, value in zip(labels, values):
+        bar = "#" * max(int(value / peak * width), 1 if value > 0 else 0)
+        lines.append(f"{label.ljust(label_width)} |{bar} {value:g}")
+    return "\n".join(lines)
+
+
+def format_result(result: ExperimentResult) -> str:
+    out = [result.title, "=" * len(result.title),
+           format_table(result.rows, result.column_names())]
+    if result.notes:
+        out.append(f"note: {result.notes}")
+    return "\n".join(out) + "\n"

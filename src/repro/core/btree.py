@@ -1,0 +1,512 @@
+"""On-disk B+-tree.
+
+The baseline of the paper's entire evaluation: "one of the most efficient
+and commonly used on-disk data structures in the database community".
+One node occupies exactly one block.  Inner nodes and leaves live in
+separate files so that the Section 6.2 hybrid case (inner nodes pinned in
+main memory) is a one-line flag.
+
+The tree is generic over the leaf record: a record is ``(key, data)``
+with fixed-size ``data`` bytes.  The baseline index stores 8-byte
+payloads; the FITing-tree reuses the same machinery with 28-byte segment
+descriptors as records, which matches the paper's design of keeping each
+segment's linear model *in the parent* (avoiding shortcoming S1).
+
+Layouts (little endian):
+
+* leaf block: ``u16 count | u16 pad | u32 next | u32 prev | u32 pad``
+  then ``count`` records of ``8 + data_size`` bytes, key first, sorted.
+* inner block: ``u16 count | u8 child_is_leaf | 13 pad bytes`` then
+  ``count`` entries of ``u64 separator_key | u32 child_block``.  Entry
+  ``i``'s separator is the minimum key of child ``i``'s subtree; routing
+  picks the rightmost separator <= search key.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..storage import BlockFile, Pager
+from .interface import DiskIndex, KeyPayload
+from .serial import NULL_BLOCK
+
+__all__ = ["BPlusTree", "BTreeIndex"]
+
+_LEAF_HEADER = struct.Struct("<HHIII")  # count, pad, next, prev, pad
+_INNER_HEADER = struct.Struct("<HB13x")  # count, child_is_leaf
+_INNER_ENTRY = struct.Struct("<QI")  # separator key, child block
+HEADER_SIZE = 16
+INNER_ENTRY_SIZE = _INNER_ENTRY.size  # 12
+
+
+class _Leaf:
+    """Parsed leaf node."""
+
+    __slots__ = ("count", "next", "prev", "keys", "datas")
+
+    def __init__(self, count: int, next_: int, prev: int,
+                 keys: List[int], datas: List[bytes]) -> None:
+        self.count = count
+        self.next = next_
+        self.prev = prev
+        self.keys = keys
+        self.datas = datas
+
+
+class _Inner:
+    """Parsed inner node."""
+
+    __slots__ = ("count", "child_is_leaf", "keys", "children")
+
+    def __init__(self, count: int, child_is_leaf: bool,
+                 keys: List[int], children: List[int]) -> None:
+        self.count = count
+        self.child_is_leaf = child_is_leaf
+        self.keys = keys
+        self.children = children
+
+
+class BPlusTree:
+    """A disk-resident B+-tree over fixed-size records.
+
+    Args:
+        pager: storage access path.
+        inner_file: file holding inner nodes (one node per block).
+        leaf_file: file holding leaf nodes (one node per block).
+        data_size: bytes of per-record data stored after the 8-byte key.
+        leaf_fill: bulk-load fill factor of leaves (default 0.8, which
+            reproduces the paper's 980,393 leaves for 200M keys at 4 KiB).
+        inner_fill: bulk-load fill factor of inner nodes.
+    """
+
+    def __init__(
+        self,
+        pager: Pager,
+        inner_file: BlockFile,
+        leaf_file: BlockFile,
+        data_size: int = 8,
+        leaf_fill: float = 0.8,
+        inner_fill: float = 0.8,
+    ) -> None:
+        if data_size <= 0:
+            raise ValueError(f"data size must be positive, got {data_size}")
+        if not 0.1 <= leaf_fill <= 1.0 or not 0.1 <= inner_fill <= 1.0:
+            raise ValueError("fill factors must be in [0.1, 1.0]")
+        self.pager = pager
+        self.inner_file = inner_file
+        self.leaf_file = leaf_file
+        self.data_size = data_size
+        self.record_size = 8 + data_size
+        bs = pager.block_size
+        self.leaf_capacity = (bs - HEADER_SIZE) // self.record_size
+        self.inner_capacity = (bs - HEADER_SIZE) // INNER_ENTRY_SIZE
+        if self.leaf_capacity < 2 or self.inner_capacity < 2:
+            raise ValueError(f"block size {bs} too small for record size {self.record_size}")
+        self.leaf_fill = leaf_fill
+        self.inner_fill = inner_fill
+        # Meta (allowed in memory per the paper's meta-block convention).
+        self.root_block = NULL_BLOCK
+        self.root_is_leaf = True
+        self.num_levels = 1
+        self.num_records = 0
+
+    # -- node (de)serialization ------------------------------------------------
+
+    def _parse_leaf(self, data: bytes) -> _Leaf:
+        count, _pad, next_, prev, _pad2 = _LEAF_HEADER.unpack_from(data, 0)
+        keys: List[int] = []
+        datas: List[bytes] = []
+        off = HEADER_SIZE
+        rs = self.record_size
+        for _ in range(count):
+            keys.append(struct.unpack_from("<Q", data, off)[0])
+            datas.append(bytes(data[off + 8 : off + rs]))
+            off += rs
+        return _Leaf(count, next_, prev, keys, datas)
+
+    def _serialize_leaf(self, leaf: _Leaf) -> bytes:
+        out = bytearray(self.pager.block_size)
+        _LEAF_HEADER.pack_into(out, 0, leaf.count, 0, leaf.next, leaf.prev, 0)
+        off = HEADER_SIZE
+        rs = self.record_size
+        for key, data in zip(leaf.keys, leaf.datas):
+            struct.pack_into("<Q", out, off, key)
+            out[off + 8 : off + rs] = data
+            off += rs
+        return bytes(out)
+
+    def _parse_inner(self, data: bytes) -> _Inner:
+        count, child_is_leaf = _INNER_HEADER.unpack_from(data, 0)
+        keys: List[int] = []
+        children: List[int] = []
+        off = HEADER_SIZE
+        for _ in range(count):
+            key, child = _INNER_ENTRY.unpack_from(data, off)
+            keys.append(key)
+            children.append(child)
+            off += INNER_ENTRY_SIZE
+        return _Inner(count, bool(child_is_leaf), keys, children)
+
+    def _serialize_inner(self, node: _Inner) -> bytes:
+        out = bytearray(self.pager.block_size)
+        _INNER_HEADER.pack_into(out, 0, node.count, int(node.child_is_leaf))
+        off = HEADER_SIZE
+        for key, child in zip(node.keys, node.children):
+            _INNER_ENTRY.pack_into(out, off, key, child)
+            off += INNER_ENTRY_SIZE
+        return bytes(out)
+
+    def _read_leaf(self, block: int) -> _Leaf:
+        return self._parse_leaf(self.pager.read_block(self.leaf_file, block))
+
+    def _write_leaf(self, block: int, leaf: _Leaf) -> None:
+        self.pager.write_block(self.leaf_file, block, self._serialize_leaf(leaf))
+
+    def _read_inner(self, block: int) -> _Inner:
+        return self._parse_inner(self.pager.read_block(self.inner_file, block))
+
+    def _write_inner(self, block: int, node: _Inner) -> None:
+        self.pager.write_block(self.inner_file, block, self._serialize_inner(node))
+
+    # -- bulk load ----------------------------------------------------------------
+
+    def bulk_load(self, records: Sequence[Tuple[int, bytes]]) -> None:
+        """Build the tree bottom-up from key-sorted records."""
+        if self.root_block != NULL_BLOCK:
+            raise RuntimeError("tree already loaded")
+        self.num_records = len(records)
+        if not records:
+            self.root_block = self.leaf_file.allocate(1)
+            self._write_leaf(self.root_block, _Leaf(0, NULL_BLOCK, NULL_BLOCK, [], []))
+            self.root_is_leaf = True
+            self.num_levels = 1
+            return
+        per_leaf = max(1, int(self.leaf_capacity * self.leaf_fill))
+        num_leaves = (len(records) + per_leaf - 1) // per_leaf
+        first = self.leaf_file.allocate(num_leaves)
+        level: List[Tuple[int, int]] = []  # (min key, child block)
+        for i in range(num_leaves):
+            chunk = records[i * per_leaf : (i + 1) * per_leaf]
+            next_ = first + i + 1 if i + 1 < num_leaves else NULL_BLOCK
+            prev = first + i - 1 if i > 0 else NULL_BLOCK
+            leaf = _Leaf(len(chunk), next_, prev,
+                         [key for key, _ in chunk], [data for _, data in chunk])
+            self._write_leaf(first + i, leaf)
+            level.append((chunk[0][0], first + i))
+        self.num_levels = 1
+        child_is_leaf = True
+        while len(level) > 1:
+            per_inner = max(2, int(self.inner_capacity * self.inner_fill))
+            num_nodes = (len(level) + per_inner - 1) // per_inner
+            start = self.inner_file.allocate(num_nodes)
+            parent_level: List[Tuple[int, int]] = []
+            for i in range(num_nodes):
+                chunk = level[i * per_inner : (i + 1) * per_inner]
+                node = _Inner(len(chunk), child_is_leaf,
+                              [key for key, _ in chunk], [blk for _, blk in chunk])
+                self._write_inner(start + i, node)
+                parent_level.append((chunk[0][0], start + i))
+            level = parent_level
+            child_is_leaf = False
+            self.num_levels += 1
+        self.root_block = level[0][1]
+        self.root_is_leaf = self.num_levels == 1
+
+    # -- search ---------------------------------------------------------------------
+
+    @staticmethod
+    def _route(keys: List[int], key: int) -> int:
+        """Index of the rightmost separator <= key (clamped to 0)."""
+        lo, hi = 0, len(keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if keys[mid] <= key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return max(0, lo - 1)
+
+    def _descend(self, key: int) -> Tuple[int, List[Tuple[int, int]]]:
+        """Walk to the leaf for ``key``; return (leaf block, inner path).
+
+        The path lists ``(inner block, child slot)`` pairs from the root
+        down — transient state used by insert splits, never persisted.
+        """
+        if self.root_block == NULL_BLOCK:
+            raise RuntimeError("tree not loaded; call bulk_load first")
+        path: List[Tuple[int, int]] = []
+        if self.root_is_leaf:
+            return self.root_block, path
+        block = self.root_block
+        while True:
+            node = self._read_inner(block)
+            slot = self._route(node.keys, key)
+            path.append((block, slot))
+            if node.child_is_leaf:
+                return node.children[slot], path
+            block = node.children[slot]
+
+    def lookup(self, key: int) -> Optional[bytes]:
+        """Exact-match search; returns the record data or None."""
+        leaf_block, _ = self._descend(key)
+        leaf = self._read_leaf(leaf_block)
+        slot = self._route(leaf.keys, key)
+        if leaf.count and leaf.keys[slot] == key:
+            return leaf.datas[slot]
+        return None
+
+    def floor_record(self, key: int) -> Optional[Tuple[int, bytes]]:
+        """Rightmost record with key <= ``key`` (FITing segment routing)."""
+        leaf_block, _ = self._descend(key)
+        leaf = self._read_leaf(leaf_block)
+        if leaf.count == 0:
+            return None
+        slot = self._route(leaf.keys, key)
+        if leaf.keys[slot] > key:
+            # Key is before this leaf's first record: step to the previous leaf.
+            if leaf.prev == NULL_BLOCK:
+                return None
+            leaf = self._read_leaf(leaf.prev)
+            if leaf.count == 0:
+                return None
+            slot = leaf.count - 1
+        return leaf.keys[slot], leaf.datas[slot]
+
+    def iterate_from(self, key: int) -> Iterator[Tuple[int, bytes]]:
+        """Yield records with key >= ``key`` in key order, following leaf links."""
+        leaf_block, _ = self._descend(key)
+        leaf = self._read_leaf(leaf_block)
+        lo, hi = 0, leaf.count
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if leaf.keys[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        slot = lo
+        while True:
+            while slot < leaf.count:
+                yield leaf.keys[slot], leaf.datas[slot]
+                slot += 1
+            if leaf.next == NULL_BLOCK:
+                return
+            leaf = self._read_leaf(leaf.next)
+            slot = 0
+
+    # -- updates ---------------------------------------------------------------------
+
+    def update(self, key: int, data: bytes) -> bool:
+        """Overwrite the data of an existing record; False if absent."""
+        leaf_block, _ = self._descend(key)
+        leaf = self._read_leaf(leaf_block)
+        slot = self._route(leaf.keys, key)
+        if not leaf.count or leaf.keys[slot] != key:
+            return False
+        leaf.datas[slot] = data
+        self._write_leaf(leaf_block, leaf)
+        return True
+
+    def delete(self, key: int) -> bool:
+        """Remove a record without rebalancing (lazy deletion)."""
+        leaf_block, _ = self._descend(key)
+        leaf = self._read_leaf(leaf_block)
+        slot = self._route(leaf.keys, key)
+        if not leaf.count or leaf.keys[slot] != key:
+            return False
+        del leaf.keys[slot]
+        del leaf.datas[slot]
+        leaf.count -= 1
+        self._write_leaf(leaf_block, leaf)
+        self.num_records -= 1
+        return True
+
+    def insert(self, key: int, data: bytes) -> None:
+        """Insert a record, splitting nodes bottom-up as needed."""
+        if len(data) != self.data_size:
+            raise ValueError(f"record data must be {self.data_size} bytes, got {len(data)}")
+        leaf_block, path = self._descend(key)
+        leaf = self._read_leaf(leaf_block)
+        slot = self._insert_slot(leaf.keys, key)
+        if slot < leaf.count and leaf.keys[slot] == key:
+            raise KeyError(f"duplicate key {key}")
+        leaf.keys.insert(slot, key)
+        leaf.datas.insert(slot, data)
+        leaf.count += 1
+        self.num_records += 1
+        if leaf.count <= self.leaf_capacity:
+            self._write_leaf(leaf_block, leaf)
+            return
+        self._split_leaf(leaf_block, leaf, path)
+
+    @staticmethod
+    def _insert_slot(keys: List[int], key: int) -> int:
+        lo, hi = 0, len(keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if keys[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def _split_leaf(self, block: int, leaf: _Leaf, path: List[Tuple[int, int]]) -> None:
+        mid = leaf.count // 2
+        new_block = self.leaf_file.allocate(1)
+        right = _Leaf(leaf.count - mid, leaf.next, block,
+                      leaf.keys[mid:], leaf.datas[mid:])
+        left = _Leaf(mid, new_block, leaf.prev, leaf.keys[:mid], leaf.datas[:mid])
+        self._write_leaf(new_block, right)
+        self._write_leaf(block, left)
+        if right.next != NULL_BLOCK:
+            neighbor = self._read_leaf(right.next)
+            neighbor.prev = new_block
+            self._write_leaf(right.next, neighbor)
+        self._insert_separator(path, right.keys[0], new_block, child_is_leaf=True)
+
+    def _insert_separator(self, path: List[Tuple[int, int]], sep_key: int,
+                          new_child: int, child_is_leaf: bool) -> None:
+        if not path:
+            # The split node was the root: grow a new root.
+            old_root = self.root_block
+            new_root = self.inner_file.allocate(1)
+            # min key of the old root subtree: 0 works as the leftmost separator
+            # because routing clamps to child 0 for any smaller key.
+            node = _Inner(2, child_is_leaf, [0, sep_key], [old_root, new_child])
+            self._write_inner(new_root, node)
+            self.root_block = new_root
+            self.root_is_leaf = False
+            self.num_levels += 1
+            return
+        parent_block, _slot = path[-1]
+        node = self._read_inner(parent_block)
+        slot = self._insert_slot(node.keys, sep_key)
+        node.keys.insert(slot, sep_key)
+        node.children.insert(slot, new_child)
+        node.count += 1
+        if node.count <= self.inner_capacity:
+            self._write_inner(parent_block, node)
+            return
+        mid = node.count // 2
+        new_block = self.inner_file.allocate(1)
+        right = _Inner(node.count - mid, node.child_is_leaf,
+                       node.keys[mid:], node.children[mid:])
+        left = _Inner(mid, node.child_is_leaf, node.keys[:mid], node.children[:mid])
+        self._write_inner(new_block, right)
+        self._write_inner(parent_block, left)
+        self._insert_separator(path[:-1], right.keys[0], new_block, child_is_leaf=False)
+
+
+class BTreeIndex(DiskIndex):
+    """The paper's baseline: a disk-resident B+-tree storing uint64 payloads."""
+
+    name = "btree"
+
+    def __init__(self, pager: Pager, leaf_fill: float = 0.8, inner_fill: float = 0.8,
+                 file_prefix: str = "btree") -> None:
+        super().__init__(pager)
+        self._file_prefix = file_prefix
+        device = pager.device
+        self._inner_file = device.get_or_create_file(f"{file_prefix}.inner")
+        self._leaf_file = device.get_or_create_file(f"{file_prefix}.leaf")
+        self.tree = BPlusTree(pager, self._inner_file, self._leaf_file,
+                              data_size=8, leaf_fill=leaf_fill, inner_fill=inner_fill)
+
+    def bulk_load(self, items: Sequence[KeyPayload]) -> None:
+        with self.pager.phase("bulkload"):
+            self.tree.bulk_load([(key, struct.pack("<Q", payload)) for key, payload in items])
+
+    def lookup(self, key: int) -> Optional[int]:
+        with self.pager.phase("search"):
+            data = self.tree.lookup(key)
+        return struct.unpack("<Q", data)[0] if data is not None else None
+
+    def insert(self, key: int, payload: int) -> None:
+        with self.pager.phase("insert"):
+            self.tree.insert(key, struct.pack("<Q", payload))
+
+    def update(self, key: int, payload: int) -> bool:
+        with self.pager.phase("insert"):
+            return self.tree.update(key, struct.pack("<Q", payload))
+
+    def delete(self, key: int) -> bool:
+        """Physical deletion: the B+-tree's dense leaves shift in-block."""
+        with self.pager.phase("insert"):
+            return self.tree.delete(key)
+
+    def scan(self, start_key: int, count: int) -> List[KeyPayload]:
+        out: List[KeyPayload] = []
+        if count <= 0:
+            return out
+        with self.pager.phase("scan"):
+            for key, data in self.tree.iterate_from(start_key):
+                out.append((key, struct.unpack("<Q", data)[0]))
+                if len(out) >= count:
+                    break
+        return out
+
+    def set_inner_memory_resident(self, resident: bool) -> None:
+        self._inner_file.memory_resident = resident
+
+    def verify(self) -> int:
+        """Check separator ordering, leaf-chain order and record counts."""
+        with self._free_io():
+            tree = self.tree
+            if tree.root_block == NULL_BLOCK:
+                return 0
+            # Walk to the leftmost leaf, then follow the sibling chain.
+            block = tree.root_block
+            depth = 1
+            if not tree.root_is_leaf:
+                while True:
+                    node = tree._read_inner(block)
+                    assert node.count >= 1, "empty inner node"
+                    assert node.keys == sorted(node.keys), "inner separators unsorted"
+                    depth += 1
+                    block = node.children[0]
+                    if node.child_is_leaf:
+                        break
+            assert depth == tree.num_levels, (
+                f"height mismatch: walked {depth}, meta says {tree.num_levels}")
+            count = 0
+            previous_key = -1
+            previous_block = NULL_BLOCK
+            while block != NULL_BLOCK:
+                leaf = tree._read_leaf(block)
+                assert leaf.prev == previous_block, "broken prev link"
+                assert leaf.count <= tree.leaf_capacity, "overfull leaf"
+                for key in leaf.keys:
+                    assert key > previous_key, "leaf keys out of order"
+                    previous_key = key
+                count += leaf.count
+                previous_block = block
+                block = leaf.next
+            assert count == tree.num_records, (
+                f"record count mismatch: walked {count}, meta {tree.num_records}")
+            return count
+
+    def init_params(self) -> dict:
+        return {"leaf_fill": self.tree.leaf_fill, "inner_fill": self.tree.inner_fill,
+                "file_prefix": self._file_prefix}
+
+    def to_meta(self) -> dict:
+        return {"root_block": self.tree.root_block,
+                "root_is_leaf": self.tree.root_is_leaf,
+                "num_levels": self.tree.num_levels,
+                "num_records": self.tree.num_records}
+
+    def restore_meta(self, meta: dict) -> None:
+        self.tree.root_block = meta["root_block"]
+        self.tree.root_is_leaf = meta["root_is_leaf"]
+        self.tree.num_levels = meta["num_levels"]
+        self.tree.num_records = meta["num_records"]
+
+    def file_roles(self) -> dict:
+        return {self._inner_file.name: "inner", self._leaf_file.name: "leaf"}
+
+    def height(self) -> int:
+        return self.tree.num_levels
+
+    @property
+    def num_leaf_blocks(self) -> int:
+        return self._leaf_file.num_blocks

@@ -1,0 +1,205 @@
+"""Hybrid index designs: learned inner structure + B+-tree-style leaves.
+
+Section 6.1.2 of the paper evaluates an "emerging idea": keep the
+key-payload pairs in dense, linked, B+-tree-style leaf blocks (which scan
+well) and use a learned index only as the *inner* part, indexing the
+maximum key of every leaf.  Table 5 reports the average fetched block
+count of this design with each learned index as the inner part.
+
+We build the hybrid by composition: the inner part is a full instance of
+the corresponding on-disk index (FITing-tree, PGM, ALEX or LIPP) whose
+entries are ``(leaf max key -> leaf block number)``.  Routing a search
+key is a ceiling lookup — the smallest stored max key >= the search key —
+which is exactly ``inner.scan(key, 1)``.  The paper's note that the LIPP
+hybrid "has to scan forward to find the next DATA slot if meeting a NULL
+slot" is therefore reproduced verbatim by LIPP's scan path.
+
+The hybrid is evaluated read-only in the paper (lookup and scan on a
+bulk-loaded index); inserts raise ``NotImplementedError``.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Sequence, Type
+
+from ..storage import Pager
+from .alex import AlexIndex
+from .btree import BTreeIndex
+from .fiting import FitingTreeIndex
+from .interface import DiskIndex, KeyPayload
+from .lipp import LippIndex
+from .pgm import PgmIndex
+from .serial import ENTRY_SIZE, NULL_BLOCK, pack_entries, unpack_entries
+
+__all__ = ["HybridIndex", "HYBRID_INNER_KINDS"]
+
+_LEAF_HEADER = struct.Struct("<HHIII")  # count, pad, next, prev, pad
+LEAF_HEADER_SIZE = 16
+
+#: Inner-part choices for the hybrid design (Table 5 columns).
+HYBRID_INNER_KINDS: Dict[str, Type[DiskIndex]] = {
+    "fiting": FitingTreeIndex,
+    "pgm": PgmIndex,
+    "alex": AlexIndex,
+    "lipp": LippIndex,
+    "btree": BTreeIndex,  # degenerates to a plain B+-tree; kept for sanity checks
+}
+
+
+class HybridIndex(DiskIndex):
+    """Learned-inner / dense-leaf hybrid (read-only).
+
+    Args:
+        pager: storage access path.
+        inner_kind: one of ``HYBRID_INNER_KINDS``.
+        leaf_fill: bulk-load fill factor of the dense leaves.
+        inner_params: forwarded to the inner index constructor.
+    """
+
+    def __init__(self, pager: Pager, inner_kind: str = "pgm", leaf_fill: float = 0.8,
+                 file_prefix: str = "hybrid", **inner_params) -> None:
+        super().__init__(pager)
+        if inner_kind not in HYBRID_INNER_KINDS:
+            raise ValueError(
+                f"unknown inner kind {inner_kind!r}; choose from {sorted(HYBRID_INNER_KINDS)}")
+        if not 0.1 <= leaf_fill <= 1.0:
+            raise ValueError("leaf fill factor must be in [0.1, 1.0]")
+        self.name = f"hybrid-{inner_kind}"
+        self.inner_kind = inner_kind
+        self.leaf_fill = leaf_fill
+        self._file_prefix = file_prefix
+        self._inner_params = dict(inner_params)
+        self._files_before = set(pager.device.files)
+        self._leaf_file = pager.device.get_or_create_file(f"{file_prefix}.leaf")
+        inner_cls = HYBRID_INNER_KINDS[inner_kind]
+        self.inner: DiskIndex = inner_cls(pager, file_prefix=f"{file_prefix}.inner",
+                                          **inner_params)
+        self._inner_resident = False
+        self.leaf_capacity = (pager.block_size - LEAF_HEADER_SIZE) // ENTRY_SIZE
+        self.num_leaves = 0
+        self.max_key: Optional[int] = None
+
+    # -- bulk load ------------------------------------------------------------
+
+    def bulk_load(self, items: Sequence[KeyPayload]) -> None:
+        if self.num_leaves:
+            raise RuntimeError("index already bulk-loaded")
+        with self.pager.phase("bulkload"):
+            directory = self._write_leaves(items)
+        self.inner.bulk_load(directory)
+        self.max_key = items[-1][0] if items else None
+
+    def _write_leaves(self, items: Sequence[KeyPayload]) -> List[KeyPayload]:
+        """Pack dense linked leaves; returns (max key -> leaf block) entries."""
+        per_leaf = max(1, int(self.leaf_capacity * self.leaf_fill))
+        num_leaves = max(1, (len(items) + per_leaf - 1) // per_leaf)
+        first = self._leaf_file.allocate(num_leaves)
+        directory: List[KeyPayload] = []
+        bs = self.pager.block_size
+        for i in range(num_leaves):
+            chunk = items[i * per_leaf : (i + 1) * per_leaf]
+            next_ = first + i + 1 if i + 1 < num_leaves else NULL_BLOCK
+            prev = first + i - 1 if i > 0 else NULL_BLOCK
+            block = bytearray(bs)
+            _LEAF_HEADER.pack_into(block, 0, len(chunk), 0, next_, prev, 0)
+            block[LEAF_HEADER_SIZE : LEAF_HEADER_SIZE + len(chunk) * ENTRY_SIZE] = (
+                pack_entries(chunk))
+            self.pager.write_block(self._leaf_file, first + i, bytes(block))
+            if chunk:
+                directory.append((chunk[-1][0], first + i))
+        self.num_leaves = num_leaves
+        return directory
+
+    # -- leaf access ------------------------------------------------------------
+
+    def _read_leaf(self, block: int):
+        raw = self.pager.read_block(self._leaf_file, block)
+        count, _pad, next_, prev, _pad2 = _LEAF_HEADER.unpack_from(raw, 0)
+        entries = unpack_entries(raw, count, offset=LEAF_HEADER_SIZE)
+        return entries, next_
+
+    def _route(self, key: int) -> Optional[int]:
+        """Leaf block whose max key is the ceiling of ``key``."""
+        if self.max_key is None or key > self.max_key:
+            return None
+        hits = self.inner.scan(key, 1)
+        if not hits:
+            return None
+        return hits[0][1]
+
+    # -- operations ----------------------------------------------------------------
+
+    def lookup(self, key: int) -> Optional[int]:
+        leaf_block = self._route(key)
+        if leaf_block is None:
+            return None
+        with self.pager.phase("search"):
+            entries, _next = self._read_leaf(leaf_block)
+        lo, hi = 0, len(entries)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if entries[mid][0] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < len(entries) and entries[lo][0] == key:
+            return entries[lo][1]
+        return None
+
+    def insert(self, key: int, payload: int) -> None:
+        raise NotImplementedError(
+            "the hybrid design is evaluated read-only in the paper (Table 5)")
+
+    def scan(self, start_key: int, count: int) -> List[KeyPayload]:
+        leaf_block = self._route(start_key)
+        out: List[KeyPayload] = []
+        if leaf_block is None or count <= 0:
+            return out
+        with self.pager.phase("scan"):
+            block = leaf_block
+            while block != NULL_BLOCK and len(out) < count:
+                entries, next_ = self._read_leaf(block)
+                for key, payload in entries:
+                    if key >= start_key:
+                        out.append((key, payload))
+                        if len(out) >= count:
+                            break
+                block = next_
+        return out
+
+    # -- misc -------------------------------------------------------------------------
+
+    def _inner_file_names(self) -> List[str]:
+        """Every file the inner index owns, including files it created
+        after construction (PGM components appear during bulk load)."""
+        return [name for name in self.pager.device.files
+                if name not in self._files_before and name != self._leaf_file.name]
+
+    def set_inner_memory_resident(self, resident: bool) -> None:
+        """Pin every file of the inner learned index in memory (P5 co-design)."""
+        self._inner_resident = resident
+        for name in self._inner_file_names():
+            self.pager.device.get_file(name).memory_resident = resident
+
+    def init_params(self) -> dict:
+        params = dict(self._inner_params)
+        params.update({"leaf_fill": self.leaf_fill, "file_prefix": self._file_prefix})
+        return params
+
+    def to_meta(self) -> dict:
+        return {"num_leaves": self.num_leaves, "max_key": self.max_key,
+                "inner": self.inner.to_meta()}
+
+    def restore_meta(self, meta: dict) -> None:
+        self.num_leaves = meta["num_leaves"]
+        self.max_key = meta["max_key"]
+        self.inner.restore_meta(meta["inner"])
+
+    def file_roles(self) -> dict:
+        roles = {name: "inner" for name in self._inner_file_names()}
+        roles[self._leaf_file.name] = "leaf"
+        return roles
+
+    def height(self) -> int:
+        return self.inner.height() + 1

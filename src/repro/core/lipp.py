@@ -1,0 +1,453 @@
+"""LIPP on disk (Updatable Learned Index with Precise Positions).
+
+LIPP has a single node type.  Each node holds a linear model (built with
+the FMCD algorithm) and an array of slots; a slot is NULL, DATA (one
+key-payload pair) or NODE (a child pointer for conflicting keys).
+Predictions are exact: a lookup never searches inside a node.
+
+The on-disk layout follows Section 4.2 of the paper: same extent scheme
+as ALEX, but the per-node bitmap is replaced with a per-slot type flag
+stored *inside* the 24-byte slot, so reading a slot yields its type and
+content in one fetch — the lookup cost is 2 reads per level (header with
+the model + the predicted slot), the ``2 log N`` of Table 2.
+
+Write-path behaviour the paper measures:
+
+* conflict inserts create a new child node — an SMO roughly every third
+  insert (Section 6.1.3);
+* every node on the root-to-slot path has its statistics updated after
+  each insert — the *maintenance* overhead dominating LIPP's Figure 6
+  breakdown;
+* a subtree whose insert count since construction reaches its build size
+  is rebuilt with FMCD (the second SMO type, "adjusting the tree
+  structure").
+
+LIPP is excluded from the memory-resident-inner experiment: it does not
+distinguish inner from leaf nodes, and its root node alone is larger
+than every other index's full inner structure (Section 6.2).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..models import build_fmcd_model, lipp_node_slots
+from ..storage import Pager
+from .interface import DiskIndex, KeyPayload
+from .serial import NULL_BLOCK
+
+__all__ = ["LippIndex"]
+
+_NODE_HEADER = struct.Struct("<IIddQII")
+# item_count, num_slots, slope, intercept, anchor, build_size, num_inserts
+HEADER_SIZE = 64
+_SLOT = struct.Struct("<B7xQQ")  # flag, key (or child block), payload
+SLOT_SIZE = _SLOT.size  # 24
+
+SLOT_NULL = 0
+SLOT_DATA = 1
+SLOT_NODE = 2
+
+
+class _NodeHeader:
+    __slots__ = ("item_count", "num_slots", "slope", "intercept", "anchor",
+                 "build_size", "num_inserts")
+
+    def __init__(self, item_count: int, num_slots: int, slope: float,
+                 intercept: float, anchor: int, build_size: int,
+                 num_inserts: int) -> None:
+        self.item_count = item_count
+        self.num_slots = num_slots
+        self.slope = slope
+        self.intercept = intercept
+        self.anchor = anchor
+        self.build_size = build_size
+        self.num_inserts = num_inserts
+
+    def pack(self) -> bytes:
+        out = bytearray(HEADER_SIZE)
+        _NODE_HEADER.pack_into(out, 0, self.item_count, self.num_slots,
+                               self.slope, self.intercept, self.anchor,
+                               self.build_size, self.num_inserts)
+        return bytes(out)
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "_NodeHeader":
+        return cls(*_NODE_HEADER.unpack_from(raw, 0))
+
+    def predict(self, key: int) -> int:
+        # Anchored evaluation: exact integer subtraction first.
+        pos = int(self.slope * float(int(key) - self.anchor) + self.intercept)
+        if pos < 0:
+            return 0
+        if pos >= self.num_slots:
+            return self.num_slots - 1
+        return pos
+
+
+class LippIndex(DiskIndex):
+    """Disk-resident LIPP.
+
+    Args:
+        pager: storage access path.
+        rebuild_factor: a subtree is rebuilt when the inserts since its
+            construction reach ``rebuild_factor * build_size``.
+        build_gap_count: LIPP's slot over-allocation for small nodes
+            (default 4, i.e. 5x slots for nodes under 100K items — the
+            source of LIPP's outsized storage footprint in Figure 10).
+    """
+
+    name = "lipp"
+
+    def __init__(self, pager: Pager, rebuild_factor: float = 1.0,
+                 build_gap_count: int = 4, file_prefix: str = "lipp") -> None:
+        super().__init__(pager)
+        if rebuild_factor <= 0:
+            raise ValueError(f"rebuild factor must be positive, got {rebuild_factor}")
+        self._file_prefix = file_prefix
+        self.rebuild_factor = rebuild_factor
+        self.build_gap_count = build_gap_count
+        self._file = pager.device.get_or_create_file(f"{file_prefix}.data")
+        self.root_block: int = NULL_BLOCK  # meta block, in memory
+        self.num_conflict_nodes = 0
+        self.num_rebuilds = 0
+
+    # -- geometry ------------------------------------------------------------
+
+    def _extent_blocks(self, num_slots: int) -> int:
+        nbytes = HEADER_SIZE + num_slots * SLOT_SIZE
+        return (nbytes + self.pager.block_size - 1) // self.pager.block_size
+
+    def _slot_offset(self, block: int, slot: int) -> int:
+        return block * self.pager.block_size + HEADER_SIZE + slot * SLOT_SIZE
+
+    # -- node I/O --------------------------------------------------------------
+
+    def _read_header(self, block: int) -> _NodeHeader:
+        raw = self.pager.read_bytes(self._file, block * self.pager.block_size, HEADER_SIZE)
+        return _NodeHeader.unpack(raw)
+
+    def _write_header(self, block: int, header: _NodeHeader) -> None:
+        self.pager.write_bytes(self._file, block * self.pager.block_size, header.pack())
+
+    def _read_slot(self, block: int, slot: int) -> Tuple[int, int, int]:
+        raw = self.pager.read_bytes(self._file, self._slot_offset(block, slot), SLOT_SIZE)
+        return _SLOT.unpack(raw)
+
+    def _write_slot(self, block: int, slot: int, flag: int, key: int, payload: int) -> None:
+        self.pager.write_bytes(self._file, self._slot_offset(block, slot),
+                               _SLOT.pack(flag, key, payload))
+
+    # -- construction -------------------------------------------------------------
+
+    def bulk_load(self, items: Sequence[KeyPayload]) -> None:
+        if self.root_block != NULL_BLOCK:
+            raise RuntimeError("index already bulk-loaded")
+        with self.pager.phase("bulkload"):
+            self.root_block = self._build_node(list(items))
+
+    def _node_model(self, keys: List[int], num_slots: int):
+        """FMCD model for a node, with a min-max fallback when FMCD's
+        clamped tails collapse most keys into one slot.
+
+        Datasets mixing a dense run with far outliers (OSM-like) make
+        FMCD's slot width tiny; every key outside the central span clamps
+        to slot 0 or the last slot, so a conflict child would receive
+        almost the whole key set and construction would never converge.
+        The min-max model separates the extremes, so the span (and hence
+        the group) shrinks strictly at each level.
+        """
+        fmcd = build_fmcd_model(keys, num_slots)
+        model = fmcd.model
+        if len(keys) >= 4 and not fmcd.fallback:
+            first = model.predict_clamped(keys[0], num_slots)
+            run = best = 1
+            prev = first
+            for key in keys[1:]:
+                slot = model.predict_clamped(key, num_slots)
+                run = run + 1 if slot == prev else 1
+                prev = slot
+                best = max(best, run)
+            if best > len(keys) // 2:
+                from ..models import LinearModel
+                model = LinearModel.fit_min_max(keys[0], keys[-1], num_slots)
+        return model
+
+    def _build_node(self, items: List[KeyPayload]) -> int:
+        """Build a node (and its conflict children) with FMCD.
+
+        Children are built iteratively with an explicit work stack — the
+        conflict chains on hard datasets can be deeper than the Python
+        recursion limit.  A child's block number is patched into its
+        parent's slot after the child is written.
+        """
+        root_block: Optional[int] = None
+        # Work items: (items, parent block, parent slot); the root has no parent.
+        stack: List[Tuple[List[KeyPayload], Optional[int], int]] = [(items, None, 0)]
+        while stack:
+            node_items, parent_block, parent_slot = stack.pop()
+            n = len(node_items)
+            keys = [key for key, _ in node_items]
+            num_slots = lipp_node_slots(max(n, 1), self.build_gap_count)
+            model = self._node_model(keys, num_slots) if n else None
+            header = _NodeHeader(
+                item_count=n, num_slots=num_slots,
+                slope=model.slope if model else 0.0,
+                intercept=model.intercept if model else 0.0,
+                anchor=model.anchor if model else 0,
+                build_size=n, num_inserts=0,
+            )
+            # Group items by predicted slot; singletons become DATA slots,
+            # conflicts become child nodes built the same way.
+            slots = bytearray(num_slots * SLOT_SIZE)
+            groups: List[Tuple[int, List[KeyPayload]]] = []
+            for key, payload in node_items:
+                slot = header.predict(key)
+                if groups and groups[-1][0] == slot:
+                    groups[-1][1].append((key, payload))
+                else:
+                    groups.append((slot, [(key, payload)]))
+            block = self._file.allocate(self._extent_blocks(num_slots))
+            for slot, group in groups:
+                if len(group) == 1:
+                    _SLOT.pack_into(slots, slot * SLOT_SIZE, SLOT_DATA,
+                                    group[0][0], group[0][1])
+                else:
+                    # Placeholder NODE slot; the child patches it when built.
+                    _SLOT.pack_into(slots, slot * SLOT_SIZE, SLOT_NODE, 0, 0)
+                    stack.append((group, block, slot))
+            self.pager.write_bytes(self._file, block * self.pager.block_size,
+                                   header.pack() + bytes(slots))
+            if parent_block is None:
+                root_block = block
+            else:
+                self._write_slot(parent_block, parent_slot, SLOT_NODE, block, 0)
+        assert root_block is not None
+        return root_block
+
+    # -- lookup -----------------------------------------------------------------------
+
+    def lookup(self, key: int) -> Optional[int]:
+        with self.pager.phase("search"):
+            block = self.root_block
+            while True:
+                header = self._read_header(block)
+                slot = header.predict(key)
+                flag, slot_key, payload = self._read_slot(block, slot)
+                if flag == SLOT_NULL:
+                    return None
+                if flag == SLOT_DATA:
+                    return payload if slot_key == key else None
+                block = slot_key  # NODE: the key field holds the child block
+
+    # -- insert -----------------------------------------------------------------------
+
+    def insert(self, key: int, payload: int) -> None:
+        if self.root_block == NULL_BLOCK:
+            raise RuntimeError("index not bulk-loaded")
+        path: List[Tuple[int, _NodeHeader]] = []
+        with self.pager.phase("search"):
+            block = self.root_block
+            while True:
+                header = self._read_header(block)
+                path.append((block, header))
+                slot = header.predict(key)
+                flag, slot_key, slot_payload = self._read_slot(block, slot)
+                if flag != SLOT_NODE:
+                    break
+                block = slot_key
+        if flag == SLOT_DATA and slot_key == key:
+            raise KeyError(f"duplicate key {key}")
+        if flag == SLOT_NULL:
+            with self.pager.phase("insert"):
+                self._write_slot(block, slot, SLOT_DATA, key, payload)
+        else:
+            # Conflict: build a child node holding both keys (SMO type 1).
+            with self.pager.phase("smo"):
+                self.num_conflict_nodes += 1
+                pair = sorted([(slot_key, slot_payload), (key, payload)])
+                child = self._build_node(pair)
+                self._write_slot(block, slot, SLOT_NODE, child, 0)
+        # Maintenance: bump statistics in every node along the path.
+        with self.pager.phase("maintenance"):
+            for node_block, node_header in path:
+                node_header.item_count += 1
+                node_header.num_inserts += 1
+                self._write_header(node_block, node_header)
+        # SMO type 2: rebuild the highest subtree that grew past its
+        # rebuild threshold (skip index 0 checks below the root lazily).
+        for depth, (node_block, node_header) in enumerate(path):
+            if node_header.num_inserts >= max(1, int(node_header.build_size
+                                                     * self.rebuild_factor)):
+                with self.pager.phase("smo"):
+                    self._rebuild_subtree(node_block, path[:depth])
+                break
+
+    def _rebuild_subtree(self, block: int, parent_path: List[Tuple[int, _NodeHeader]]) -> None:
+        """Collect a subtree's items, rebuild it with FMCD, repoint the parent."""
+        self.num_rebuilds += 1
+        items = list(self._iterate_subtree(block))
+        self._free_subtree(block)
+        new_block = self._build_node(items)
+        if not parent_path:
+            self.root_block = new_block
+            return
+        parent_block, parent_header = parent_path[-1]
+        # The subtree hangs off exactly one NODE slot of the parent; its
+        # slot is the prediction of any of its keys.
+        slot = parent_header.predict(items[0][0])
+        self._write_slot(parent_block, slot, SLOT_NODE, new_block, 0)
+
+    def _free_subtree(self, block: int) -> None:
+        header = self._read_header(block)
+        for slot in range(header.num_slots):
+            flag, slot_key, _payload = self._read_slot(block, slot)
+            if flag == SLOT_NODE:
+                self._free_subtree(slot_key)
+        self._file.free(block, self._extent_blocks(header.num_slots))
+
+    # -- update / delete ----------------------------------------------------------------
+
+    def update(self, key: int, payload: int) -> bool:
+        with self.pager.phase("search"):
+            block = self.root_block
+            while True:
+                header = self._read_header(block)
+                slot = header.predict(key)
+                flag, slot_key, _payload = self._read_slot(block, slot)
+                if flag == SLOT_NULL:
+                    return False
+                if flag == SLOT_DATA:
+                    break
+                block = slot_key
+        if slot_key != key:
+            return False
+        with self.pager.phase("insert"):
+            self._write_slot(block, slot, SLOT_DATA, key, payload)
+        return True
+
+    def delete(self, key: int) -> bool:
+        """Physical delete: LIPP's exact positions make it trivial — the
+        DATA slot reverts to NULL and the path statistics are adjusted."""
+        path: List[Tuple[int, _NodeHeader]] = []
+        with self.pager.phase("search"):
+            block = self.root_block
+            while True:
+                header = self._read_header(block)
+                path.append((block, header))
+                slot = header.predict(key)
+                flag, slot_key, _payload = self._read_slot(block, slot)
+                if flag == SLOT_NULL:
+                    return False
+                if flag == SLOT_DATA:
+                    break
+                block = slot_key
+        if slot_key != key:
+            return False
+        with self.pager.phase("insert"):
+            self._write_slot(block, slot, SLOT_NULL, 0, 0)
+        with self.pager.phase("maintenance"):
+            for node_block, node_header in path:
+                node_header.item_count -= 1
+                self._write_header(node_block, node_header)
+        return True
+
+    # -- scan -------------------------------------------------------------------------
+
+    def scan(self, start_key: int, count: int) -> List[KeyPayload]:
+        if count <= 0:
+            return []
+        with self.pager.phase("scan"):
+            out: List[KeyPayload] = []
+            for entry in self._iterate_subtree(self.root_block, start_key):
+                out.append(entry)
+                if len(out) >= count:
+                    break
+            return out
+
+    def _iterate_subtree(self, block: int, start_key: int = 0) -> Iterator[KeyPayload]:
+        """In-order iteration, descending into conflict children.
+
+        Monotonicity of the model guarantees keys >= start_key never live
+        in slots before the predicted start slot.
+        """
+        header = self._read_header(block)
+        first_slot = header.predict(start_key) if start_key else 0
+        for slot in range(first_slot, header.num_slots):
+            flag, slot_key, payload = self._read_slot(block, slot)
+            if flag == SLOT_NULL:
+                continue
+            if flag == SLOT_DATA:
+                if slot_key >= start_key:
+                    yield (slot_key, payload)
+            else:
+                child_start = start_key if slot == first_slot else 0
+                yield from self._iterate_subtree(slot_key, child_start)
+
+    # -- misc -------------------------------------------------------------------------
+
+    def verify(self) -> int:
+        """Check slot-flag sanity, model-placement exactness (every DATA
+        key predicts to its own slot) and per-node item counts."""
+        with self._free_io():
+            return self._verify_node(self.root_block, previous=[-1])
+
+    def _verify_node(self, block: int, previous: List[int]) -> int:
+        header = self._read_header(block)
+        count = 0
+        for slot in range(header.num_slots):
+            flag, slot_key, _payload = self._read_slot(block, slot)
+            assert flag in (SLOT_NULL, SLOT_DATA, SLOT_NODE), f"bad slot flag {flag}"
+            if flag == SLOT_DATA:
+                assert header.predict(slot_key) == slot, (
+                    f"key {slot_key} stored at slot {slot}, model predicts "
+                    f"{header.predict(slot_key)}")
+                assert slot_key > previous[0], "keys out of in-order sequence"
+                previous[0] = slot_key
+                count += 1
+            elif flag == SLOT_NODE:
+                count += self._verify_node(slot_key, previous)
+        assert count == header.item_count, (
+            f"node item_count {header.item_count} != walked {count}")
+        return count
+
+    def init_params(self) -> dict:
+        return {"rebuild_factor": self.rebuild_factor,
+                "build_gap_count": self.build_gap_count,
+                "file_prefix": self._file_prefix}
+
+    def to_meta(self) -> dict:
+        return {"root_block": self.root_block,
+                "num_conflict_nodes": self.num_conflict_nodes,
+                "num_rebuilds": self.num_rebuilds}
+
+    def restore_meta(self, meta: dict) -> None:
+        self.root_block = meta["root_block"]
+        self.num_conflict_nodes = meta["num_conflict_nodes"]
+        self.num_rebuilds = meta["num_rebuilds"]
+
+    def file_roles(self) -> dict:
+        return {self._file.name: "leaf"}  # LIPP has a single node type
+
+    def height(self) -> int:
+        """Maximum root-to-slot depth.
+
+        Reporting only: the full-tree walk is served without I/O charges
+        so that calling it between measurements cannot skew experiments.
+        """
+        was_resident = self._file.memory_resident
+        self._file.memory_resident = True
+        try:
+            return self._depth(self.root_block)
+        finally:
+            self._file.memory_resident = was_resident
+
+    def _depth(self, block: int) -> int:
+        header = self._read_header(block)
+        best = 1
+        for slot in range(header.num_slots):
+            flag, slot_key, _payload = self._read_slot(block, slot)
+            if flag == SLOT_NODE:
+                best = max(best, 1 + self._depth(slot_key))
+        return best

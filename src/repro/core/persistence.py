@@ -1,0 +1,66 @@
+"""Save and reopen whole indexes.
+
+The paper keeps a *meta block* — root address and utility information —
+that is "stored in main memory when in use".  This module is the
+materialization of that block: :func:`save_index` snapshots the device
+image plus the index's meta state to a file, and :func:`load_index`
+reconstructs a fully working index object from it.
+
+Format: the :mod:`repro.storage.persist` device image, followed by a
+JSON meta trailer (length-prefixed) describing the index kind, its
+constructor parameters, and its in-memory meta state.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import BinaryIO, Optional, Union
+
+from ..storage import DiskProfile, Pager, load_device, save_device
+from .interface import DiskIndex
+from .registry import make_index
+
+__all__ = ["save_index", "load_index"]
+
+_TRAILER = struct.Struct("<I")
+
+
+def save_index(index: DiskIndex, target: Union[str, BinaryIO]) -> None:
+    """Persist an index (device image + meta) to ``target``."""
+    meta = {
+        "kind": index.name,
+        "params": index.init_params(),
+        "state": index.to_meta(),
+    }
+    own = isinstance(target, str)
+    stream: BinaryIO = open(target, "wb") if own else target
+    try:
+        save_device(index.pager.device, stream)
+        raw = json.dumps(meta).encode("utf-8")
+        stream.write(_TRAILER.pack(len(raw)))
+        stream.write(raw)
+    finally:
+        if own:
+            stream.close()
+
+
+def load_index(source: Union[str, BinaryIO],
+               profile: Optional[DiskProfile] = None) -> DiskIndex:
+    """Reopen an index persisted with :func:`save_index`.
+
+    ``profile`` optionally overrides the stored latency model — e.g. to
+    replay an HDD-built index on the SSD cost model.
+    """
+    own = isinstance(source, str)
+    stream: BinaryIO = open(source, "rb") if own else source
+    try:
+        device = load_device(stream, profile=profile)
+        raw_len = _TRAILER.unpack(stream.read(_TRAILER.size))[0]
+        meta = json.loads(stream.read(raw_len).decode("utf-8"))
+    finally:
+        if own:
+            stream.close()
+    index = make_index(meta["kind"], Pager(device), **meta["params"])
+    index.restore_meta(meta["state"])
+    return index

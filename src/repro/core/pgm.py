@@ -1,0 +1,589 @@
+"""PGM-index on disk (static components + LSM-style dynamic index).
+
+Static component
+    A multi-level PGM built with the optimal streaming PLA.  The sorted
+    data lives in ``<name>.data``; every upper level is an array of
+    24-byte segment descriptors ``(first_key, slope, intercept)`` in
+    ``<name>.levels``.  A descriptor's model predicts positions *in the
+    level below* — PGM stores models in the parent, so shortcoming S1
+    does not apply.  The root descriptor and the per-level offset table
+    are meta-block state kept in memory, as the paper allows.
+
+Dynamic index (Arbitrary Insert, Figure 1(b) of the paper)
+    An LSM over static components: inserts go to a small fixed-size
+    sorted buffer on disk (the paper observes 585 entries ≈ 3 blocks);
+    when full it is merged with the leading run of components whose
+    cumulative size exceeds the target level capacity.  Each component
+    is a separate pair of files and a merged component's files are
+    deleted from disk — which is why PGM has the smallest storage
+    footprint in the paper's Figure 10.
+
+    Lookups probe the buffer and then every component from newest to
+    oldest until the key is found — the access pattern behind O10 (PGM
+    degrades as the read ratio grows).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..models import optimal_segments
+from ..storage import BlockFile, Pager
+from .interface import DiskIndex, KeyPayload, TOMBSTONE
+from .serial import ENTRY_SIZE, pack_entries, unpack_entries
+
+__all__ = ["StaticPgm", "PgmIndex"]
+
+_DESCRIPTOR = struct.Struct("<Qdd")  # first_key, slope, intercept
+DESCRIPTOR_SIZE = _DESCRIPTOR.size  # 24
+
+
+class StaticPgm:
+    """One immutable PGM component over a sorted entry array.
+
+    Args:
+        pager: storage access path.
+        name: file-name prefix; creates ``<name>.data`` and ``<name>.levels``.
+        items: key-sorted unique entries.
+        epsilon: PLA error bound (paper default 64).
+        levels_memory_resident: pin the descriptor levels in RAM
+            (Section 6.2 hybrid case).
+    """
+
+    def __init__(self, pager: Pager, name: str, items: Sequence[KeyPayload],
+                 epsilon: int = 64, levels_memory_resident: bool = False) -> None:
+        if not items:
+            raise ValueError("a static PGM component cannot be empty")
+        if epsilon < 1:
+            raise ValueError(f"epsilon must be >= 1, got {epsilon}")
+        self.pager = pager
+        self.name = name
+        self.epsilon = epsilon
+        self.count = len(items)
+        self.min_key = items[0][0]
+        self.max_key = items[-1][0]
+        device = pager.device
+        self.data_file: BlockFile = device.get_or_create_file(f"{name}.data")
+        self.levels_file: BlockFile = device.get_or_create_file(f"{name}.levels")
+        self.levels_file.memory_resident = levels_memory_resident
+        # Meta: per-level (byte offset in levels file, descriptor count),
+        # ordered bottom-up; level 0 predicts into the data array.
+        self.level_table: List[Tuple[int, int]] = []
+        self.root: Optional[Tuple[int, float, float]] = None
+        self._build(items)
+
+    @classmethod
+    def attach(cls, pager: Pager, meta: dict) -> "StaticPgm":
+        """Reconstruct a component over an already-loaded device image."""
+        component = cls.__new__(cls)
+        component.pager = pager
+        component.name = meta["name"]
+        component.epsilon = meta["epsilon"]
+        component.count = meta["count"]
+        component.min_key = meta["min_key"]
+        component.max_key = meta["max_key"]
+        component.data_file = pager.device.get_file(f"{meta['name']}.data")
+        component.levels_file = pager.device.get_file(f"{meta['name']}.levels")
+        component.level_table = [tuple(entry) for entry in meta["level_table"]]
+        component.root = tuple(meta["root"]) if meta["root"] is not None else None
+        return component
+
+    def to_meta(self) -> dict:
+        return {"name": self.name, "epsilon": self.epsilon, "count": self.count,
+                "min_key": self.min_key, "max_key": self.max_key,
+                "level_table": [list(entry) for entry in self.level_table],
+                "root": list(self.root) if self.root is not None else None}
+
+    # -- construction --------------------------------------------------------
+
+    def _build(self, items: Sequence[KeyPayload]) -> None:
+        blocks = (self.count * ENTRY_SIZE + self.pager.block_size - 1) // self.pager.block_size
+        start = self.data_file.allocate(blocks)
+        self.pager.write_bytes(self.data_file, start * self.pager.block_size,
+                               pack_entries(items))
+        keys = [key for key, _ in items]
+        offset = 0
+        while True:
+            segments = optimal_segments(keys, self.epsilon)
+            descriptors = [
+                (seg.first_key, seg.model.slope, seg.model.intercept)
+                for seg in segments
+            ]
+            if len(descriptors) == 1:
+                self.root = descriptors[0]
+                return
+            raw = b"".join(_DESCRIPTOR.pack(*d) for d in descriptors)
+            nblocks = (len(raw) + self.pager.block_size - 1) // self.pager.block_size
+            blk = self.levels_file.allocate(nblocks)
+            self.pager.write_bytes(self.levels_file, blk * self.pager.block_size, raw)
+            self.level_table.append((blk * self.pager.block_size, len(descriptors)))
+            keys = [d[0] for d in descriptors]
+
+    @property
+    def num_levels(self) -> int:
+        """Levels including the data level and the in-memory root."""
+        return len(self.level_table) + 2
+
+    # -- search ------------------------------------------------------------------
+
+    def _clamped_window(self, pred: float, count: int) -> Tuple[int, int]:
+        # One slot of slack per side: float rounding can push a boundary
+        # prediction just outside the exact-arithmetic PLA guarantee.
+        # Both ends clamp into [0, count); a model extrapolating far past
+        # its segment (a floor-routed key near a component boundary) must
+        # still yield a valid, possibly single-slot window.
+        center = int(pred)
+        lo = max(0, min(center - self.epsilon - 1, count - 1))
+        hi = max(lo, min(center + self.epsilon + 1, count - 1))
+        return lo, hi
+
+    def _read_descriptors(self, level: int, lo: int, hi: int) -> List[Tuple[int, float, float]]:
+        base, _count = self.level_table[level]
+        raw = self.pager.read_bytes(self.levels_file, base + lo * DESCRIPTOR_SIZE,
+                                    (hi - lo + 1) * DESCRIPTOR_SIZE)
+        return [
+            _DESCRIPTOR.unpack_from(raw, i * DESCRIPTOR_SIZE)
+            for i in range(hi - lo + 1)
+        ]
+
+    @staticmethod
+    def _predict(descriptor: Tuple[int, float, float], key: int) -> float:
+        """Anchored evaluation: slope * (key - first_key) + intercept.
+
+        The integer subtraction keeps the float multiply within the
+        segment span, avoiding uint64-scale cancellation.
+        """
+        first_key, slope, intercept = descriptor
+        return slope * float(int(key) - int(first_key)) + intercept
+
+    def _descend(self, key: int) -> Tuple[int, int]:
+        """Return the (lo, hi) window in the data array that must hold ``key``."""
+        if self.root is None:
+            raise RuntimeError("component not built")
+        model = self.root
+        # Walk descriptor levels top-down; level_table is bottom-up.
+        for level in range(len(self.level_table) - 1, -1, -1):
+            _base, count = self.level_table[level]
+            lo, hi = self._clamped_window(self._predict(model, key), count)
+            descriptors = self._read_descriptors(level, lo, hi)
+            slot = _floor_slot([d[0] for d in descriptors], key)
+            model = descriptors[slot]
+        return self._clamped_window(self._predict(model, key), self.count)
+
+    def _read_data_range(self, lo: int, hi: int) -> List[KeyPayload]:
+        raw = self.pager.read_bytes(self.data_file, lo * ENTRY_SIZE,
+                                    (hi - lo + 1) * ENTRY_SIZE)
+        return unpack_entries(raw, hi - lo + 1)
+
+    def lookup(self, key: int) -> Optional[int]:
+        if key < self.min_key or key > self.max_key:
+            return None
+        lo, hi = self._descend(key)
+        entries = self._read_data_range(lo, hi)
+        slot = _floor_slot([k for k, _ in entries], key)
+        if entries[slot][0] == key:
+            return entries[slot][1]
+        return None
+
+    def ceiling_position(self, key: int) -> int:
+        """Index of the first entry with key >= ``key`` (may equal count)."""
+        if key <= self.min_key:
+            return 0
+        if key > self.max_key:
+            return self.count
+        lo, hi = self._descend(key)
+        entries = self._read_data_range(lo, hi)
+        keys = [k for k, _ in entries]
+        slot = _floor_slot(keys, key)
+        if keys[slot] >= key:
+            return lo + slot
+        return lo + slot + 1
+
+    def iterate_from(self, position: int) -> Iterator[KeyPayload]:
+        """Yield entries sequentially starting at a data position."""
+        bs = self.pager.block_size
+        per_block = bs // ENTRY_SIZE
+        pos = position
+        while pos < self.count:
+            block_no = (pos * ENTRY_SIZE) // bs
+            first_in_block = block_no * per_block
+            in_block = min(per_block, self.count - first_in_block)
+            raw = self.pager.read_bytes(self.data_file, first_in_block * ENTRY_SIZE,
+                                        in_block * ENTRY_SIZE)
+            entries = unpack_entries(raw, in_block)
+            for entry in entries[pos - first_in_block :]:
+                yield entry
+            pos = first_in_block + in_block
+
+    def destroy(self) -> None:
+        """Delete both files from disk (after an LSM merge)."""
+        self.pager.invalidate_file(self.data_file.name)
+        self.pager.invalidate_file(self.levels_file.name)
+        self.pager.device.delete_file(self.data_file.name)
+        self.pager.device.delete_file(self.levels_file.name)
+
+
+class PgmIndex(DiskIndex):
+    """The dynamic (LSM-style) disk-resident PGM-index.
+
+    Args:
+        pager: storage access path.
+        epsilon: PLA error bound for every component (paper default 64).
+        buffer_capacity: entries in the sorted insert buffer (paper: 585).
+        level_ratio: LSM size ratio between adjacent levels.
+    """
+
+    name = "pgm"
+
+    def __init__(self, pager: Pager, epsilon: int = 64, buffer_capacity: int = 585,
+                 level_ratio: int = 2, file_prefix: str = "pgm") -> None:
+        super().__init__(pager)
+        if buffer_capacity < 1:
+            raise ValueError(f"buffer capacity must be >= 1, got {buffer_capacity}")
+        if level_ratio < 2:
+            raise ValueError(f"level ratio must be >= 2, got {level_ratio}")
+        self.epsilon = epsilon
+        self.buffer_capacity = buffer_capacity
+        self.level_ratio = level_ratio
+        self.file_prefix = file_prefix
+        self._buffer_file = pager.device.get_or_create_file(f"{file_prefix}.buffer")
+        if self._buffer_file.num_blocks == 0:
+            self._buffer_file.allocate(
+                (buffer_capacity * ENTRY_SIZE + pager.block_size - 1) // pager.block_size)
+        self.buffer_count = 0  # meta-block state
+        self.components: List[Optional[StaticPgm]] = []  # index = LSM level
+        self._generation = 0
+        self._levels_resident = False
+        self.num_merges = 0
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _level_capacity(self, level: int) -> int:
+        return self.buffer_capacity * (self.level_ratio ** (level + 1))
+
+    def _new_component(self, items: Sequence[KeyPayload]) -> StaticPgm:
+        self._generation += 1
+        return StaticPgm(self.pager, f"{self.file_prefix}.c{self._generation}",
+                         items, epsilon=self.epsilon,
+                         levels_memory_resident=self._levels_resident)
+
+    def _read_buffer(self, count: Optional[int] = None) -> List[KeyPayload]:
+        count = self.buffer_count if count is None else count
+        if count == 0:
+            return []
+        raw = self.pager.read_bytes(self._buffer_file, 0, count * ENTRY_SIZE)
+        return unpack_entries(raw, count)
+
+    # -- bulk load -------------------------------------------------------------------
+
+    def bulk_load(self, items: Sequence[KeyPayload]) -> None:
+        if self.num_components or self.buffer_count:
+            raise RuntimeError("index already bulk-loaded")
+        with self.pager.phase("bulkload"):
+            if not items:
+                return
+            level = 0
+            while self._level_capacity(level) < len(items):
+                level += 1
+            self.components.extend([None] * (level + 1 - len(self.components)))
+            self.components[level] = self._new_component(items)
+
+    # -- lookup ----------------------------------------------------------------------
+
+    def lookup(self, key: int) -> Optional[int]:
+        with self.pager.phase("search"):
+            found = self._lookup_raw(key)
+        return None if found == TOMBSTONE else found
+
+    def _lookup_raw(self, key: int) -> Optional[int]:
+        """Newest-wins lookup that surfaces tombstone payloads."""
+        found = _binary_find_region(self.pager, self._buffer_file, 0,
+                                    self.buffer_count, key)
+        if found is not None:
+            return found
+        for component in self.components:
+            if component is None:
+                continue
+            result = component.lookup(key)
+            if result is not None:
+                return result
+        return None
+
+    # -- insert -----------------------------------------------------------------------
+
+    def insert(self, key: int, payload: int) -> None:
+        with self.pager.phase("insert"):
+            entries = self._read_buffer()
+            slot = _insert_position(entries, key)
+            if slot < len(entries) and entries[slot][0] == key:
+                if entries[slot][1] != TOMBSTONE:
+                    raise KeyError(f"duplicate key {key}")
+                # Re-inserting a buffered-deleted key overwrites in place.
+                entries[slot] = (key, payload)
+                self.pager.write_bytes(self._buffer_file, slot * ENTRY_SIZE,
+                                       pack_entries([(key, payload)]))
+                return
+            entries.insert(slot, (key, payload))
+            self.buffer_count = len(entries)
+            # Rewrite the shifted tail of the sorted buffer.
+            self.pager.write_bytes(self._buffer_file, slot * ENTRY_SIZE,
+                                   pack_entries(entries[slot:]))
+        if self.buffer_count >= self.buffer_capacity:
+            with self.pager.phase("smo"):
+                self._flush_buffer(entries)
+
+    def update(self, key: int, payload: int) -> bool:
+        """LSM upsert: the newest value shadows older components."""
+        with self.pager.phase("search"):
+            current = self._lookup_raw(key)
+        if current is None or current == TOMBSTONE:
+            return False
+        self._buffer_upsert(key, payload)
+        return True
+
+    def delete(self, key: int) -> bool:
+        """LSM delete: a tombstone run entry; dropped when a merge reaches
+        the bottommost level (the paper's compaction-time reclamation)."""
+        with self.pager.phase("search"):
+            current = self._lookup_raw(key)
+        if current is None or current == TOMBSTONE:
+            return False
+        self._buffer_upsert(key, TOMBSTONE)
+        return True
+
+    def _buffer_upsert(self, key: int, payload: int) -> None:
+        """Write (key, payload) into the sorted buffer, shadowing any
+        existing buffered entry for the key; flushes when full."""
+        with self.pager.phase("insert"):
+            entries = self._read_buffer()
+            slot = _insert_position(entries, key)
+            if slot < len(entries) and entries[slot][0] == key:
+                entries[slot] = (key, payload)
+                self.pager.write_bytes(self._buffer_file, slot * ENTRY_SIZE,
+                                       pack_entries([(key, payload)]))
+                return
+            entries.insert(slot, (key, payload))
+            self.buffer_count = len(entries)
+            self.pager.write_bytes(self._buffer_file, slot * ENTRY_SIZE,
+                                   pack_entries(entries[slot:]))
+        if self.buffer_count >= self.buffer_capacity:
+            with self.pager.phase("smo"):
+                self._flush_buffer(entries)
+
+    def _flush_buffer(self, buffered: List[KeyPayload]) -> None:
+        """Merge the full buffer down the LSM hierarchy (the PGM 'SMO')."""
+        self.num_merges += 1
+        carry = list(buffered)
+        merged_components: List[StaticPgm] = []
+        target = 0
+        total = len(carry)
+        while target < len(self.components) and self.components[target] is not None:
+            component = self.components[target]
+            total += component.count
+            merged_components.append(component)
+            self.components[target] = None
+            if total <= self._level_capacity(target):
+                break
+            target += 1
+        # Read every merged component sequentially and k-way merge in memory.
+        runs = [carry] + [list(c.iterate_from(0)) for c in merged_components]
+        merged = _merge_runs(runs)
+        while target < len(self.components) and self._level_capacity(target) < len(merged):
+            target += 1
+        if target >= len(self.components):
+            self.components.extend([None] * (target + 1 - len(self.components)))
+        is_bottom = all(self.components[i] is None
+                        for i in range(target + 1, len(self.components)))
+        if is_bottom:
+            # Nothing older can be shadowed: tombstones can be dropped.
+            merged = [entry for entry in merged if entry[1] != TOMBSTONE]
+        if merged:
+            self.components[target] = self._new_component(merged)
+        for component in merged_components:
+            component.destroy()
+        self.buffer_count = 0
+
+    # -- scan --------------------------------------------------------------------------
+
+    def scan(self, start_key: int, count: int) -> List[KeyPayload]:
+        with self.pager.phase("scan"):
+            iters: List[Iterator[KeyPayload]] = []
+            buffered = self._read_buffer()
+            slot = _insert_position(buffered, start_key)
+            iters.append(iter(buffered[slot:]))
+            for component in self.components:
+                if component is None:
+                    continue
+                pos = component.ceiling_position(start_key)
+                if pos < component.count:
+                    iters.append(component.iterate_from(pos))
+            return _merge_iters_take(iters, count)
+
+    # -- misc ---------------------------------------------------------------------------
+
+    def set_inner_memory_resident(self, resident: bool) -> None:
+        """Pin descriptor levels of all (current and future) components."""
+        self._levels_resident = resident
+        for component in self.components:
+            if component is not None:
+                component.levels_file.memory_resident = resident
+
+    def verify(self) -> int:
+        """Check buffer/component sortedness, level capacities and the
+        newest-wins visibility of every key."""
+        with self._free_io():
+            buffered = self._read_buffer()
+            buffer_keys = [k for k, _ in buffered]
+            assert buffer_keys == sorted(set(buffer_keys)), "insert buffer unsorted"
+            assert len(buffered) < self.buffer_capacity, "buffer overfull"
+            seen = {}
+            for k, p in buffered:
+                seen.setdefault(k, p)
+            for level, component in enumerate(self.components):
+                if component is None:
+                    continue
+                assert component.count <= self._level_capacity(level), (
+                    f"component at level {level} over capacity")
+                previous = -1
+                walked = 0
+                for k, p in component.iterate_from(0):
+                    assert k > previous, "component data unsorted"
+                    previous = k
+                    walked += 1
+                    seen.setdefault(k, p)
+                assert walked == component.count, "component count mismatch"
+            return sum(1 for p in seen.values() if p != TOMBSTONE)
+
+    def init_params(self) -> dict:
+        return {"epsilon": self.epsilon, "buffer_capacity": self.buffer_capacity,
+                "level_ratio": self.level_ratio, "file_prefix": self.file_prefix}
+
+    def to_meta(self) -> dict:
+        return {"buffer_count": self.buffer_count,
+                "generation": self._generation,
+                "levels_resident": self._levels_resident,
+                "num_merges": self.num_merges,
+                "components": [c.to_meta() if c is not None else None
+                               for c in self.components]}
+
+    def restore_meta(self, meta: dict) -> None:
+        self.buffer_count = meta["buffer_count"]
+        self._generation = meta["generation"]
+        self._levels_resident = meta["levels_resident"]
+        self.num_merges = meta["num_merges"]
+        self.components = [
+            StaticPgm.attach(self.pager, c) if c is not None else None
+            for c in meta["components"]
+        ]
+
+    def file_roles(self) -> dict:
+        roles = {self._buffer_file.name: "leaf"}
+        for component in self.components:
+            if component is not None:
+                roles[component.levels_file.name] = "inner"
+                roles[component.data_file.name] = "leaf"
+        return roles
+
+    def height(self) -> int:
+        heights = [c.num_levels for c in self.components if c is not None]
+        return max(heights) if heights else 1
+
+    @property
+    def num_components(self) -> int:
+        return sum(1 for c in self.components if c is not None)
+
+
+# -- module helpers -------------------------------------------------------------
+
+
+def _floor_slot(keys: List[int], key: int) -> int:
+    """Rightmost index with keys[i] <= key, clamped to 0."""
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if keys[mid] <= key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return max(0, lo - 1)
+
+
+def _insert_position(entries: List[KeyPayload], key: int) -> int:
+    lo, hi = 0, len(entries)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if entries[mid][0] < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def _binary_find_region(pager: Pager, file: BlockFile, base_offset: int,
+                        count: int, key: int) -> Optional[int]:
+    """Binary search a sorted on-disk entry region, probing entry by entry.
+
+    Each probe reads 16 bytes; the pager's last-block reuse means the
+    search touches only the distinct blocks the probes land in — one or
+    two for a 3-block buffer, matching the paper's Figure 6 analysis.
+    """
+    lo, hi = 0, count
+    while lo < hi:
+        mid = (lo + hi) // 2
+        raw = pager.read_bytes(file, base_offset + mid * ENTRY_SIZE, ENTRY_SIZE)
+        mid_key, payload = unpack_entries(raw, 1)[0]
+        if mid_key == key:
+            return payload
+        if mid_key < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return None
+
+
+def _merge_runs(runs: List[List[KeyPayload]]) -> List[KeyPayload]:
+    """Merge key-sorted runs; on duplicate keys the earliest run wins."""
+    import heapq
+
+    heap: List[Tuple[int, int, int]] = []  # key, run index, position
+    for run_index, run in enumerate(runs):
+        if run:
+            heap.append((run[0][0], run_index, 0))
+    heapq.heapify(heap)
+    out: List[KeyPayload] = []
+    while heap:
+        key, run_index, pos = heapq.heappop(heap)
+        if not out or out[-1][0] != key:
+            out.append(runs[run_index][pos])
+        if pos + 1 < len(runs[run_index]):
+            heapq.heappush(heap, (runs[run_index][pos + 1][0], run_index, pos + 1))
+    return out
+
+
+def _merge_iters_take(iters: List[Iterator[KeyPayload]], count: int) -> List[KeyPayload]:
+    """Take the first ``count`` live entries of the merged iterators.
+
+    Iterators are ordered newest-first; on duplicate keys the newest run
+    wins, and keys whose newest value is a tombstone are skipped.
+    """
+    import heapq
+
+    heap: List[Tuple[int, int, int, Iterator[KeyPayload]]] = []
+    for i, it in enumerate(iters):
+        first = next(it, None)
+        if first is not None:
+            heap.append((first[0], i, first[1], it))
+    heapq.heapify(heap)
+    out: List[KeyPayload] = []
+    last_key: Optional[int] = None
+    while heap and len(out) < count:
+        key, i, payload, it = heapq.heappop(heap)
+        if key != last_key:
+            last_key = key
+            if payload != TOMBSTONE:
+                out.append((key, payload))
+        nxt = next(it, None)
+        if nxt is not None:
+            heapq.heappush(heap, (nxt[0], i, nxt[1], it))
+    return out

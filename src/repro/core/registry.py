@@ -1,0 +1,59 @@
+"""Factory for every index in the study.
+
+The workload runner and benchmark harness construct indexes exclusively
+through :func:`make_index`, so experiments are parameterized by name:
+``btree``, ``fiting``, ``pgm``, ``alex``, ``lipp`` and the Table 5
+hybrids ``hybrid-fiting`` / ``hybrid-pgm`` / ``hybrid-alex`` /
+``hybrid-lipp`` / ``hybrid-btree``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..storage import Pager
+from .alex import AlexIndex
+from .btree import BTreeIndex
+from .fiting import FitingTreeIndex
+from .hybrid import HYBRID_INNER_KINDS, HybridIndex
+from .interface import DiskIndex
+from .lipp import LippIndex
+from .pgm import PgmIndex
+from .plid import PlidIndex
+
+__all__ = ["make_index", "index_names", "INDEX_FACTORIES"]
+
+INDEX_FACTORIES: Dict[str, Callable[..., DiskIndex]] = {
+    "btree": BTreeIndex,
+    "fiting": FitingTreeIndex,
+    "pgm": PgmIndex,
+    "alex": AlexIndex,
+    "lipp": LippIndex,
+    "plid": PlidIndex,
+}
+for _kind in HYBRID_INNER_KINDS:
+    INDEX_FACTORIES[f"hybrid-{_kind}"] = (
+        lambda pager, _kind=_kind, **params: HybridIndex(pager, inner_kind=_kind, **params)
+    )
+
+
+def index_names(include_hybrids: bool = False, include_plid: bool = False) -> List[str]:
+    """The five studied index names, optionally with the hybrid variants
+    and PLID (this repository's instantiation of the paper's design
+    principles P1-P5)."""
+    names = ["btree", "fiting", "pgm", "alex", "lipp"]
+    if include_plid:
+        names.append("plid")
+    if include_hybrids:
+        names += [f"hybrid-{kind}" for kind in ("fiting", "pgm", "alex", "lipp")]
+    return names
+
+
+def make_index(name: str, pager: Pager, **params) -> DiskIndex:
+    """Construct an index by registry name over the given pager."""
+    try:
+        factory = INDEX_FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown index {name!r}; available: {sorted(INDEX_FACTORIES)}") from None
+    return factory(pager, **params)

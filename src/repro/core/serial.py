@@ -1,0 +1,59 @@
+"""Binary layout helpers shared by the on-disk indexes.
+
+Every index serializes real bytes into device blocks.  Keys and payloads
+are uint64 (the paper's datasets are uint64 keys with payload = key + 1),
+so one key-payload entry is 16 bytes and a 4 KiB block holds 256 entries
+— exactly the arithmetic behind the paper's Table 2 cost formulas.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Sequence, Tuple
+
+__all__ = [
+    "ENTRY_SIZE",
+    "KEY_SIZE",
+    "NULL_BLOCK",
+    "pack_entries",
+    "unpack_entries",
+    "pack_u64s",
+    "unpack_u64s",
+    "entries_per_block",
+]
+
+KEY_SIZE = 8
+ENTRY_SIZE = 16
+#: Sentinel "no block" pointer (u32).
+NULL_BLOCK = 0xFFFFFFFF
+
+_ENTRY = struct.Struct("<QQ")
+
+
+def entries_per_block(block_size: int) -> int:
+    """Key-payload entries that fit in one block (the paper's ``B``)."""
+    return block_size // ENTRY_SIZE
+
+
+def pack_entries(items: Sequence[Tuple[int, int]]) -> bytes:
+    """Serialize (key, payload) pairs to little-endian uint64 pairs."""
+    out = bytearray(len(items) * ENTRY_SIZE)
+    for i, (key, payload) in enumerate(items):
+        _ENTRY.pack_into(out, i * ENTRY_SIZE, key, payload)
+    return bytes(out)
+
+
+def unpack_entries(data: bytes, count: int, offset: int = 0) -> List[Tuple[int, int]]:
+    """Deserialize ``count`` (key, payload) pairs starting at ``offset``."""
+    return [
+        _ENTRY.unpack_from(data, offset + i * ENTRY_SIZE)
+        for i in range(count)
+    ]
+
+
+def pack_u64s(values: Sequence[int]) -> bytes:
+    return struct.pack(f"<{len(values)}Q", *values)
+
+
+def unpack_u64s(data: bytes, count: int, offset: int = 0) -> Tuple[int, ...]:
+    return struct.unpack_from(f"<{count}Q", data, offset)

@@ -1,0 +1,25 @@
+"""Synthetic datasets and Table 3 profiling."""
+
+from .generators import (
+    DATASET_NAMES,
+    REPORTED_DATASETS,
+    dataset_names,
+    generate_insert_keys,
+    items_for,
+    make_dataset,
+    sample_lookup_keys,
+)
+from .profiling import DatasetProfile, btree_leaf_count, profile_dataset
+
+__all__ = [
+    "DATASET_NAMES",
+    "DatasetProfile",
+    "REPORTED_DATASETS",
+    "btree_leaf_count",
+    "dataset_names",
+    "generate_insert_keys",
+    "items_for",
+    "make_dataset",
+    "profile_dataset",
+    "sample_lookup_keys",
+]

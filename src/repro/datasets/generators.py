@@ -1,0 +1,245 @@
+"""Synthetic datasets with the hardness profiles of the paper's eleven.
+
+The paper evaluates on SOSD-style datasets of 200M uint64 keys (YCSB,
+FB, OSM, Covid, History, Genome, Libio, Planet, Stack, Wise, and an 800M
+OSM variant).  We cannot ship those, and a scaled-down Python study does
+not need them: a learned index sees a dataset only through (a) how many
+PLA segments it needs per error bound and (b) its FMCD conflict degree —
+exactly what Table 3 profiles.  Each generator below is tuned so that
+the *relative ordering* of those two metrics across datasets matches
+Table 3:
+
+========  =========================================  =====================
+name      generator                                   paper profile
+========  =========================================  =====================
+ycsb      uniform random                              easiest (both metrics)
+fb        heavy-tailed lognormal                      hardest for PLA
+osm       dense clusters + uniform background         highest conflict degree
+covid     few wide normal bursts                      moderate
+history   mild lognormal                              moderate
+genome    many tight clusters                         hard PLA, high conflicts
+libio     smooth power-law gaps                       easy conflicts, mid PLA
+planet    clusters + uniform, between osm and covid   moderately hard
+stack     near-uniform with jitter                    easiest conflicts
+wise      gamma-distributed gaps                      mild
+osm_800m  osm at 4x the base size                     scalability dataset
+========  =========================================  =====================
+
+All generators return a strictly increasing uint64 array of exactly
+``n`` keys and are deterministic in ``(name, n, seed)``.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "DATASET_NAMES",
+    "REPORTED_DATASETS",
+    "dataset_names",
+    "make_dataset",
+    "items_for",
+    "sample_lookup_keys",
+    "generate_insert_keys",
+]
+
+#: The three datasets the paper's figures report (Section 5.1).
+REPORTED_DATASETS = ("fb", "osm", "ycsb")
+
+_KEY_SPACE = np.uint64(2**62)
+
+
+def _finalize(values: np.ndarray, n: int, rng: np.random.Generator) -> np.ndarray:
+    """Clip, dedupe and trim to exactly ``n`` strictly increasing uint64 keys."""
+    values = np.unique(values.astype(np.uint64))
+    while values.size < n:
+        extra = rng.integers(0, int(_KEY_SPACE), size=n, dtype=np.uint64)
+        values = np.unique(np.concatenate([values, extra]))
+    if values.size > n:
+        pick = np.sort(rng.choice(values.size, size=n, replace=False))
+        values = values[pick]
+    return values
+
+
+def _uniform(n: int, rng: np.random.Generator) -> np.ndarray:
+    return rng.integers(0, int(_KEY_SPACE), size=int(n * 1.05), dtype=np.uint64)
+
+
+def _jittered_grid(n: int, rng: np.random.Generator) -> np.ndarray:
+    """An almost perfectly linear dataset: grid positions with small jitter."""
+    step = int(_KEY_SPACE) // (n + 1)
+    base = np.arange(1, n + 1, dtype=np.uint64) * np.uint64(step)
+    jitter = rng.integers(0, max(step // 4, 2), size=n, dtype=np.uint64)
+    return base + jitter
+
+def _lognormal(n: int, rng: np.random.Generator, sigma: float) -> np.ndarray:
+    raw = rng.lognormal(mean=0.0, sigma=sigma, size=int(n * 1.2))
+    scaled = raw / raw.max() * float(_KEY_SPACE) * 0.9
+    return scaled.astype(np.uint64)
+
+
+def _heavy_gaps(n: int, rng: np.random.Generator, sigma: float) -> np.ndarray:
+    """IID heavy-tailed gaps: the slope changes constantly, so the PLA
+    needs a segment every few keys — the FB-like worst case."""
+    gaps = rng.lognormal(mean=0.0, sigma=sigma, size=int(n * 1.05)) + 1.0
+    positions = np.cumsum(gaps)
+    scaled = positions / positions[-1] * float(_KEY_SPACE) * 0.9
+    return scaled.astype(np.uint64)
+
+
+def _clusters(n: int, rng: np.random.Generator, num_clusters: int,
+              intra_gap_max: int, background: float,
+              intra_sigma: float = 0.0) -> np.ndarray:
+    """Dense key clusters over a uniform background.
+
+    Each cluster is a run of keys with gaps in ``[1, intra_gap_max]``;
+    ``intra_sigma > 0`` makes the intra-cluster gaps lognormal (variable
+    slope inside a cluster, costing extra PLA segments).  ``background``
+    is the fraction of keys drawn uniformly over the whole key space.
+    """
+    n_background = int(n * background)
+    n_clustered = int(n * 1.15) - n_background
+    per_cluster = max(2, n_clustered // num_clusters)
+    centers = rng.integers(0, int(_KEY_SPACE), size=num_clusters, dtype=np.uint64)
+    parts = []
+    for center in centers:
+        if intra_sigma > 0:
+            gaps = (rng.lognormal(0.0, intra_sigma, size=per_cluster)
+                    * intra_gap_max / 2.0) + 1.0
+        else:
+            gaps = rng.integers(1, intra_gap_max + 1, size=per_cluster).astype(float)
+        offsets = np.cumsum(gaps).astype(np.uint64)
+        parts.append(center + offsets)
+    uniform = rng.integers(0, int(_KEY_SPACE), size=n_background, dtype=np.uint64)
+    parts.append(uniform)
+    return np.concatenate(parts)
+
+
+def _normal_bursts(n: int, rng: np.random.Generator, bursts: int,
+                   spread: float) -> np.ndarray:
+    centers = rng.integers(int(_KEY_SPACE) // 10, int(_KEY_SPACE), size=bursts)
+    per = int(n * 1.15) // bursts + 1
+    parts = [
+        rng.normal(float(c), float(_KEY_SPACE) * spread, size=per)
+        for c in centers
+    ]
+    values = np.abs(np.concatenate(parts))
+    return np.minimum(values, float(_KEY_SPACE) * 0.99).astype(np.uint64)
+
+
+def _powerlaw_gaps(n: int, rng: np.random.Generator, alpha: float) -> np.ndarray:
+    gaps = rng.pareto(alpha, size=int(n * 1.05)) + 1.0
+    positions = np.cumsum(gaps)
+    scaled = positions / positions[-1] * float(_KEY_SPACE) * 0.9
+    return scaled.astype(np.uint64)
+
+
+def _gamma_gaps(n: int, rng: np.random.Generator, shape: float) -> np.ndarray:
+    gaps = rng.gamma(shape, size=int(n * 1.05)) + 0.05
+    positions = np.cumsum(gaps)
+    scaled = positions / positions[-1] * float(_KEY_SPACE) * 0.9
+    return scaled.astype(np.uint64)
+
+
+def _osm_like(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Dense clusters with variable internal slopes plus a few gap-1 runs.
+
+    The clusters cost the PLA many segments; the contiguous runs are
+    perfectly linear (cheap for the PLA) but collapse thousands of keys
+    into one FMCD slot — reproducing OSM's Table 3 profile of a hard
+    PLA dataset with by far the largest conflict degree.
+    """
+    base = _clusters(n, rng, num_clusters=max(n // 700, 8), intra_gap_max=6,
+                     background=0.05, intra_sigma=1.6)
+    run_length = max(n // 25, 4)
+    run_starts = rng.integers(0, int(_KEY_SPACE), size=3, dtype=np.uint64)
+    runs = [start + np.arange(run_length, dtype=np.uint64) for start in run_starts]
+    return np.concatenate([base] + runs)
+
+
+_GENERATORS: Dict[str, Callable[[int, np.random.Generator], np.ndarray]] = {
+    "ycsb": _uniform,
+    "fb": lambda n, rng: _heavy_gaps(n, rng, sigma=4.0),
+    "osm": _osm_like,
+    "covid": lambda n, rng: _normal_bursts(n, rng, bursts=8, spread=0.0015),
+    "history": lambda n, rng: _lognormal(n, rng, sigma=0.7),
+    "genome": lambda n, rng: _clusters(n, rng, num_clusters=max(n // 700, 16),
+                                       intra_gap_max=4, background=0.02),
+    "libio": lambda n, rng: _powerlaw_gaps(n, rng, alpha=1.05),
+    "planet": lambda n, rng: _clusters(n, rng, num_clusters=max(n // 700, 12),
+                                       intra_gap_max=3_000_000_000_000, background=0.3),
+    "stack": _jittered_grid,
+    "wise": lambda n, rng: _gamma_gaps(n, rng, shape=0.35),
+    "osm_800m": _osm_like,
+}
+
+#: All eleven dataset names, in the paper's Table 3 column order.
+DATASET_NAMES = ("ycsb", "fb", "osm", "covid", "history", "genome",
+                 "libio", "planet", "stack", "wise", "osm_800m")
+
+
+def dataset_names(include_large: bool = False) -> List[str]:
+    names = [name for name in DATASET_NAMES if name != "osm_800m"]
+    if include_large:
+        names.append("osm_800m")
+    return names
+
+
+def make_dataset(name: str, n: int, seed: int = 42) -> np.ndarray:
+    """Generate ``n`` sorted unique uint64 keys for the named dataset.
+
+    ``osm_800m`` is the scalability variant: the paper's 800M-key OSM.
+    Callers pass a proportionally larger ``n`` (the harness uses 4x the
+    base size, matching the paper's 200M -> 800M ratio).
+    """
+    try:
+        generator = _GENERATORS[name]
+    except KeyError:
+        raise ValueError(f"unknown dataset {name!r}; available: {DATASET_NAMES}") from None
+    if n <= 0:
+        raise ValueError(f"dataset size must be positive, got {n}")
+    name_tag = zlib.crc32(name.encode("utf-8"))
+    rng = np.random.default_rng(np.random.SeedSequence([name_tag, seed]))
+    return _finalize(generator(n, rng), n, rng)
+
+
+def items_for(keys: Sequence[int]) -> List[Tuple[int, int]]:
+    """Key-payload pairs with the paper's payload convention (key + 1)."""
+    return [(int(key), int(key) + 1) for key in keys]
+
+
+def sample_lookup_keys(keys: np.ndarray, count: int, seed: int = 7) -> List[int]:
+    """Random existing keys, matching the paper's lookup workloads."""
+    rng = np.random.default_rng(seed)
+    picks = rng.integers(0, len(keys), size=count)
+    return [int(keys[i]) for i in picks]
+
+
+def generate_insert_keys(existing: np.ndarray, count: int, seed: int = 11) -> List[int]:
+    """Fresh keys absent from ``existing``, drawn between existing keys.
+
+    Inserting between existing keys (rather than uniformly) keeps the
+    insert distribution aligned with the dataset's own distribution, as
+    the paper's workloads do when splitting a dataset into a bulk-load
+    half and an insert half.
+    """
+    rng = np.random.default_rng(seed)
+    existing_set = set(int(k) for k in existing)
+    out: List[int] = []
+    n = len(existing)
+    while len(out) < count:
+        batch = count - len(out)
+        idx = rng.integers(0, n - 1, size=batch)
+        frac = rng.random(size=batch)
+        for i, f in zip(idx, frac):
+            lo, hi = int(existing[i]), int(existing[i + 1])
+            if hi - lo <= 1:
+                continue
+            key = lo + 1 + int(f * (hi - lo - 1))
+            if key not in existing_set:
+                existing_set.add(key)
+                out.append(key)
+    return out[:count]

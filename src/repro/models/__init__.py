@@ -1,0 +1,16 @@
+"""Model substrate: linear models, PLA segmentation, FMCD."""
+
+from .fmcd import FmcdResult, build_fmcd_model, conflict_degree, lipp_node_slots
+from .linear import LinearModel
+from .pla import Segment, optimal_segments, shrinking_cone_segments
+
+__all__ = [
+    "FmcdResult",
+    "LinearModel",
+    "Segment",
+    "build_fmcd_model",
+    "conflict_degree",
+    "lipp_node_slots",
+    "optimal_segments",
+    "shrinking_cone_segments",
+]

@@ -1,0 +1,85 @@
+"""Linear models used by every learned index in the paper.
+
+All four studied indexes (FITing-tree, PGM, ALEX, LIPP) predict positions
+with a linear function.  Keys are 64-bit unsigned integers, so a naive
+``slope * key + intercept`` in float64 loses up to ~2**64 * 2**-52 ≈ 4096
+positions to cancellation — far beyond the error bound ε = 64.  Every
+model is therefore *anchored*: ``pos = slope * (key - anchor) + intercept``
+with the subtraction performed on exact Python integers before the float
+conversion, exactly as the C++ reference implementations anchor their
+segments at the first key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["LinearModel"]
+
+
+@dataclass
+class LinearModel:
+    """``pos = slope * (key - anchor) + intercept``.
+
+    ``anchor`` is an integer key (typically the first key the model was
+    fit on); ``key - anchor`` is computed with exact integer arithmetic,
+    so the float multiply only ever sees the small in-segment offset.
+    """
+
+    slope: float
+    intercept: float
+    anchor: int = 0
+
+    def predict(self, key: int) -> float:
+        return self.slope * float(int(key) - self.anchor) + self.intercept
+
+    def predict_clamped(self, key: int, size: int) -> int:
+        """Predicted slot in ``[0, size - 1]``."""
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        pos = int(self.predict(key))
+        if pos < 0:
+            return 0
+        if pos >= size:
+            return size - 1
+        return pos
+
+    @classmethod
+    def fit_least_squares(cls, keys: Sequence[int], positions: Sequence[int]) -> "LinearModel":
+        """Ordinary least squares fit of positions on keys (ALEX-style).
+
+        A single point (or all-equal keys) degenerates to a constant model.
+        """
+        if len(keys) == 0:
+            raise ValueError("cannot fit a model to zero points")
+        anchor = int(keys[0])
+        xs = np.asarray([int(k) - anchor for k in keys], dtype=np.float64)
+        ys = np.asarray(positions, dtype=np.float64)
+        if xs.size == 1 or keys[0] == keys[-1]:
+            return cls(slope=0.0, intercept=float(ys[0]), anchor=anchor)
+        x_mean = float(xs.mean())
+        y_mean = float(ys.mean())
+        xc = xs - x_mean
+        denom = float(np.dot(xc, xc))
+        if denom == 0.0:
+            return cls(slope=0.0, intercept=y_mean, anchor=anchor)
+        slope = float(np.dot(xc, ys - y_mean)) / denom
+        intercept = y_mean - slope * x_mean
+        return cls(slope=slope, intercept=intercept, anchor=anchor)
+
+    @classmethod
+    def fit_min_max(cls, first_key: int, last_key: int, size: int) -> "LinearModel":
+        """Spread ``[first_key, last_key]`` evenly over ``size`` slots.
+
+        This is LIPP's fallback when FMCD fails, and ALEX's model for
+        evenly partitioning a key range across children.
+        """
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        if last_key <= first_key:
+            return cls(slope=0.0, intercept=0.0, anchor=int(first_key))
+        slope = (size - 1) / float(int(last_key) - int(first_key))
+        return cls(slope=slope, intercept=0.0, anchor=int(first_key))

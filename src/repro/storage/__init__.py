@@ -1,0 +1,32 @@
+"""Simulated block-storage substrate.
+
+The paper runs every index against a raw disk (no OS page cache, 4 KiB
+blocks).  This package provides the equivalent substrate: a
+:class:`BlockDevice` holding real serialized bytes with per-access latency
+accounting, a byte-addressed :class:`Pager`, an LRU :class:`BufferPool`,
+and HDD/SSD :class:`DiskProfile` latency models.
+"""
+
+from .buffer_pool import BufferPool, ClockBufferPool, FifoBufferPool, make_buffer_pool
+from .device import BlockDevice, BlockFile, StorageStats, PHASES
+from .pager import Pager
+from .persist import load_device, save_device
+from .profile import HDD, NULL_DEVICE, SSD, DiskProfile
+
+__all__ = [
+    "BlockDevice",
+    "BlockFile",
+    "BufferPool",
+    "ClockBufferPool",
+    "FifoBufferPool",
+    "make_buffer_pool",
+    "DiskProfile",
+    "HDD",
+    "NULL_DEVICE",
+    "Pager",
+    "load_device",
+    "save_device",
+    "PHASES",
+    "SSD",
+    "StorageStats",
+]

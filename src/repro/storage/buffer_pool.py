@@ -1,0 +1,192 @@
+"""Block buffer pools.
+
+Section 6.6 of the paper studies how many blocks each index fetches from
+disk when an LRU cache of 0..512 blocks sits in front of it.  LRU is the
+paper's (and our default) policy; CLOCK and FIFO are provided for
+replacement-policy ablations.  All pools are write-through: a write
+updates the cached copy and still goes to disk, so eviction never needs
+to write back.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["BufferPool", "ClockBufferPool", "FifoBufferPool", "make_buffer_pool"]
+
+_Key = Tuple[str, int]
+
+
+class BufferPool:
+    """A write-through LRU cache of disk blocks.
+
+    Args:
+        capacity: maximum number of cached blocks; 0 disables caching
+            (every probe misses), which matches the paper's default
+            "no buffer management" configuration.
+    """
+
+    policy = "lru"
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be non-negative, got {capacity}")
+        self.capacity = capacity
+        self._blocks: "OrderedDict[_Key, bytes]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def get(self, file_name: str, block_no: int) -> Optional[bytes]:
+        """Return the cached block or None, updating recency and hit counters."""
+        key = (file_name, block_no)
+        data = self._blocks.get(key)
+        if data is None:
+            self.misses += 1
+            return None
+        self._blocks.move_to_end(key)
+        self.hits += 1
+        return data
+
+    def put(self, file_name: str, block_no: int, data: bytes) -> None:
+        """Insert or refresh a block, evicting the least recently used one."""
+        if self.capacity == 0:
+            return
+        key = (file_name, block_no)
+        self._blocks[key] = data
+        self._blocks.move_to_end(key)
+        while len(self._blocks) > self.capacity:
+            self._blocks.popitem(last=False)
+
+    def invalidate(self, file_name: str, block_no: int) -> None:
+        """Drop one block if present (e.g. the extent holding it was freed)."""
+        self._blocks.pop((file_name, block_no), None)
+
+    def invalidate_file(self, file_name: str) -> None:
+        """Drop every cached block of a file (e.g. a deleted PGM level)."""
+        stale = [key for key in self._blocks if key[0] == file_name]
+        for key in stale:
+            del self._blocks[key]
+
+    def clear(self) -> None:
+        self._blocks.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class FifoBufferPool(BufferPool):
+    """First-in-first-out replacement: recency of access is ignored."""
+
+    policy = "fifo"
+
+    def get(self, file_name: str, block_no: int) -> Optional[bytes]:
+        data = self._blocks.get((file_name, block_no))
+        if data is None:
+            self.misses += 1
+            return None
+        self.hits += 1  # no move_to_end: insertion order decides eviction
+        return data
+
+    def put(self, file_name: str, block_no: int, data: bytes) -> None:
+        if self.capacity == 0:
+            return
+        key = (file_name, block_no)
+        if key in self._blocks:
+            self._blocks[key] = data  # refresh contents, keep queue position
+            return
+        self._blocks[key] = data
+        while len(self._blocks) > self.capacity:
+            self._blocks.popitem(last=False)
+
+
+class ClockBufferPool(BufferPool):
+    """Second-chance (CLOCK) replacement: an approximation of LRU that
+    real buffer managers use to avoid per-access reordering."""
+
+    policy = "clock"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._referenced: Dict[_Key, bool] = {}
+        self._ring: List[_Key] = []
+        self._hand = 0
+
+    def get(self, file_name: str, block_no: int) -> Optional[bytes]:
+        key = (file_name, block_no)
+        data = self._blocks.get(key)
+        if data is None:
+            self.misses += 1
+            return None
+        self._referenced[key] = True
+        self.hits += 1
+        return data
+
+    def put(self, file_name: str, block_no: int, data: bytes) -> None:
+        if self.capacity == 0:
+            return
+        key = (file_name, block_no)
+        if key in self._blocks:
+            self._blocks[key] = data
+            self._referenced[key] = True
+            return
+        while len(self._blocks) >= self.capacity:
+            victim = self._ring[self._hand]
+            if self._referenced.get(victim, False):
+                self._referenced[victim] = False
+                self._hand = (self._hand + 1) % len(self._ring)
+                continue
+            del self._blocks[victim]
+            del self._referenced[victim]
+            self._ring[self._hand] = key
+            self._blocks[key] = data
+            self._referenced[key] = False
+            self._hand = (self._hand + 1) % len(self._ring)
+            return
+        self._ring.append(key)
+        self._blocks[key] = data
+        self._referenced[key] = False
+
+    def invalidate(self, file_name: str, block_no: int) -> None:
+        key = (file_name, block_no)
+        if key in self._blocks:
+            del self._blocks[key]
+            self._referenced.pop(key, None)
+            if key in self._ring:
+                index = self._ring.index(key)
+                self._ring.pop(index)
+                if self._hand > index:
+                    self._hand -= 1
+                if self._ring:
+                    self._hand %= len(self._ring)
+                else:
+                    self._hand = 0
+
+    def invalidate_file(self, file_name: str) -> None:
+        for key in [k for k in list(self._blocks) if k[0] == file_name]:
+            self.invalidate(*key)
+
+    def clear(self) -> None:
+        super().clear()
+        self._referenced.clear()
+        self._ring.clear()
+        self._hand = 0
+
+
+_POLICIES = {"lru": BufferPool, "fifo": FifoBufferPool, "clock": ClockBufferPool}
+
+
+def make_buffer_pool(capacity: int, policy: str = "lru") -> BufferPool:
+    """Construct a buffer pool by policy name (``lru``/``fifo``/``clock``)."""
+    try:
+        cls = _POLICIES[policy]
+    except KeyError:
+        raise ValueError(
+            f"unknown buffer policy {policy!r}; choose from {sorted(_POLICIES)}"
+        ) from None
+    return cls(capacity)

@@ -1,0 +1,255 @@
+"""Simulated block device.
+
+The device stores *real serialized bytes* in fixed-size blocks grouped
+into named files (the paper's ALEX "Layout#2" keeps inner and data nodes
+in separate files; dynamic PGM keeps one file per LSM level).  Every read
+or write is charged against a :class:`~repro.storage.profile.DiskProfile`
+and recorded in :class:`StorageStats`, broken down by the operation phase
+(search / insert / smo / maintenance) so that the paper's Figure 6 insert
+breakdown can be measured rather than estimated.
+
+Files can be flagged *memory resident* (Section 6.2 of the paper caches
+inner nodes in RAM): accesses to such files are served for free and are
+not counted as fetched blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .profile import DiskProfile, HDD
+
+__all__ = ["BlockDevice", "BlockFile", "StorageStats", "PHASES"]
+
+#: Phases an index can attribute I/O to; ``default`` catches unattributed I/O.
+PHASES = ("default", "search", "insert", "smo", "maintenance", "scan", "bulkload")
+
+
+@dataclass
+class StorageStats:
+    """Cumulative I/O counters for one device.
+
+    ``reads``/``writes`` count *block* accesses that actually hit the
+    simulated disk (memory-resident and cache-served accesses excluded).
+    ``elapsed_us`` is the simulated wall clock. ``allocated_blocks`` only
+    grows, matching the paper's note that on-disk space is not reclaimed
+    (Section 6.3), except when a whole file is deleted (PGM LSM merges).
+    """
+
+    reads: int = 0
+    writes: int = 0
+    elapsed_us: float = 0.0
+    allocated_blocks: int = 0
+    freed_blocks: int = 0
+    reads_by_phase: Dict[str, int] = field(default_factory=dict)
+    writes_by_phase: Dict[str, int] = field(default_factory=dict)
+    time_by_phase: Dict[str, float] = field(default_factory=dict)
+
+    def snapshot(self) -> "StorageStats":
+        """Return an independent copy, e.g. to diff around an operation."""
+        return StorageStats(
+            reads=self.reads,
+            writes=self.writes,
+            elapsed_us=self.elapsed_us,
+            allocated_blocks=self.allocated_blocks,
+            freed_blocks=self.freed_blocks,
+            reads_by_phase=dict(self.reads_by_phase),
+            writes_by_phase=dict(self.writes_by_phase),
+            time_by_phase=dict(self.time_by_phase),
+        )
+
+    def diff(self, earlier: "StorageStats") -> "StorageStats":
+        """Counters accumulated since ``earlier`` was snapshotted."""
+        phases = set(self.reads_by_phase) | set(self.writes_by_phase) | set(self.time_by_phase)
+        return StorageStats(
+            reads=self.reads - earlier.reads,
+            writes=self.writes - earlier.writes,
+            elapsed_us=self.elapsed_us - earlier.elapsed_us,
+            allocated_blocks=self.allocated_blocks - earlier.allocated_blocks,
+            freed_blocks=self.freed_blocks - earlier.freed_blocks,
+            reads_by_phase={
+                p: self.reads_by_phase.get(p, 0) - earlier.reads_by_phase.get(p, 0)
+                for p in phases
+            },
+            writes_by_phase={
+                p: self.writes_by_phase.get(p, 0) - earlier.writes_by_phase.get(p, 0)
+                for p in phases
+            },
+            time_by_phase={
+                p: self.time_by_phase.get(p, 0.0) - earlier.time_by_phase.get(p, 0.0)
+                for p in phases
+            },
+        )
+
+    @property
+    def total_accesses(self) -> int:
+        return self.reads + self.writes
+
+
+class BlockFile:
+    """Handle for one named file on a :class:`BlockDevice`.
+
+    A file is an append-allocated sequence of blocks.  ``allocate``
+    always returns a contiguous extent, matching the paper's constraint
+    that "the data in one node must be stored in an adjacent space".
+    """
+
+    def __init__(self, device: "BlockDevice", name: str) -> None:
+        self.device = device
+        self.name = name
+        self.blocks: List[Optional[bytearray]] = []
+        self.memory_resident = False
+        self.live_blocks = 0
+        self.reads = 0
+        self.writes = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BlockFile({self.name!r}, {len(self.blocks)} blocks)"
+
+    @property
+    def num_blocks(self) -> int:
+        """Total blocks ever allocated in this file (freed ones included)."""
+        return len(self.blocks)
+
+    def allocate(self, count: int) -> int:
+        """Allocate ``count`` contiguous blocks at the end; return the first index."""
+        if count <= 0:
+            raise ValueError(f"allocation count must be positive, got {count}")
+        start = len(self.blocks)
+        bs = self.device.block_size
+        self.blocks.extend(bytearray(bs) for _ in range(count))
+        self.live_blocks += count
+        self.device.stats.allocated_blocks += count
+        return start
+
+    def free(self, start: int, count: int) -> None:
+        """Mark an extent invalid.
+
+        The bytes stay allocated on disk — the paper's Section 6.3 notes
+        that reclaiming learned-index space requires bookkeeping the
+        authors (and we) do not perform — but the live-block counter
+        drops so storage reports can show both figures.
+        """
+        self._check_range(start, count)
+        self.live_blocks -= count
+        self.device.stats.freed_blocks += count
+
+    def _check_range(self, start: int, count: int) -> None:
+        if start < 0 or count < 0 or start + count > len(self.blocks):
+            raise IndexError(
+                f"block range [{start}, {start + count}) out of bounds for "
+                f"file {self.name!r} with {len(self.blocks)} blocks"
+            )
+
+
+class BlockDevice:
+    """An in-memory simulated disk with per-access latency accounting.
+
+    Args:
+        block_size: bytes per block (the paper defaults to 4 KiB and
+            sweeps 4/8/16 KiB in Section 6.4).
+        profile: latency model; defaults to the HDD profile.
+    """
+
+    def __init__(self, block_size: int = 4096, profile: DiskProfile = HDD) -> None:
+        if block_size <= 0:
+            raise ValueError(f"block size must be positive, got {block_size}")
+        self.block_size = block_size
+        self.profile = profile
+        self.stats = StorageStats()
+        self.files: Dict[str, BlockFile] = {}
+        self._phase = "default"
+        self._last_access: Optional[tuple] = None  # (file name, block no)
+
+    # -- file management ---------------------------------------------------
+
+    def create_file(self, name: str) -> BlockFile:
+        """Create and return a new empty file; names must be unique."""
+        if name in self.files:
+            raise ValueError(f"file {name!r} already exists")
+        handle = BlockFile(self, name)
+        self.files[name] = handle
+        return handle
+
+    def get_file(self, name: str) -> BlockFile:
+        return self.files[name]
+
+    def get_or_create_file(self, name: str) -> BlockFile:
+        """Return an existing file or create it — the attach path used
+        when an index object is reconstructed over a loaded device image."""
+        if name in self.files:
+            return self.files[name]
+        return self.create_file(name)
+
+    def delete_file(self, name: str) -> None:
+        """Delete a file outright, reclaiming its space.
+
+        The paper allows this only for whole files — dynamic PGM deletes a
+        merged level's file from disk (Section 6.3).
+        """
+        handle = self.files.pop(name)
+        self.stats.freed_blocks += handle.live_blocks
+        handle.blocks = []
+        handle.live_blocks = 0
+
+    # -- phase attribution ---------------------------------------------------
+
+    @property
+    def phase(self) -> str:
+        return self._phase
+
+    def set_phase(self, phase: str) -> str:
+        """Set the I/O attribution phase; returns the previous phase."""
+        previous = self._phase
+        self._phase = phase
+        return previous
+
+    # -- block I/O ---------------------------------------------------------
+
+    def read_block(self, file: BlockFile, block_no: int) -> bytes:
+        """Read one block, charging latency unless the file is memory resident."""
+        file._check_range(block_no, 1)
+        if not file.memory_resident:
+            sequential = self._last_access == (file.name, block_no - 1)
+            cost = self.profile.read_cost_us(self.block_size, sequential)
+            self.stats.reads += 1
+            file.reads += 1
+            self.stats.elapsed_us += cost
+            phase = self._phase
+            self.stats.reads_by_phase[phase] = self.stats.reads_by_phase.get(phase, 0) + 1
+            self.stats.time_by_phase[phase] = self.stats.time_by_phase.get(phase, 0.0) + cost
+            self._last_access = (file.name, block_no)
+        block = file.blocks[block_no]
+        return bytes(block)
+
+    def write_block(self, file: BlockFile, block_no: int, data: bytes) -> None:
+        """Write one full block, charging latency unless memory resident."""
+        file._check_range(block_no, 1)
+        if len(data) != self.block_size:
+            raise ValueError(
+                f"write of {len(data)} bytes does not match block size {self.block_size}"
+            )
+        if not file.memory_resident:
+            sequential = self._last_access == (file.name, block_no - 1)
+            cost = self.profile.write_cost_us(self.block_size, sequential)
+            self.stats.writes += 1
+            file.writes += 1
+            self.stats.elapsed_us += cost
+            phase = self._phase
+            self.stats.writes_by_phase[phase] = self.stats.writes_by_phase.get(phase, 0) + 1
+            self.stats.time_by_phase[phase] = self.stats.time_by_phase.get(phase, 0.0) + cost
+            self._last_access = (file.name, block_no)
+        file.blocks[block_no] = bytearray(data)
+
+    # -- reporting -----------------------------------------------------------
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Total bytes ever allocated across live files (freed extents included)."""
+        return sum(f.num_blocks for f in self.files.values()) * self.block_size
+
+    @property
+    def live_bytes(self) -> int:
+        """Bytes in extents that have not been freed."""
+        return sum(f.live_blocks for f in self.files.values()) * self.block_size

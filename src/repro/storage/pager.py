@@ -1,0 +1,154 @@
+"""Byte-addressed access path on top of the block device.
+
+Indexes address their data as ``(file, byte offset)``; the pager maps
+offsets to blocks and fetches exactly the covering blocks.  This is what
+makes the paper's shortcoming **S1** (the learned model living in a
+different block than the predicted slot) emerge naturally: a node header
+at offset 0 and a slot 6000 bytes later really are two block fetches.
+
+The pager layers three caches in front of the device:
+
+1. *memory-resident files* — Section 6.2's "inner nodes in RAM" case;
+   served free, not counted.
+2. the *last fetched block* — the paper's default configuration keeps no
+   buffer pool but "checks whether the last block fetched can be reused"
+   (Section 6.5).
+3. an optional LRU :class:`~repro.storage.buffer_pool.BufferPool`
+   (Section 6.6).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Tuple
+
+from .buffer_pool import BufferPool
+from .device import BlockDevice, BlockFile
+
+__all__ = ["Pager"]
+
+
+class Pager:
+    """Read/write path with last-block reuse and optional buffer pool.
+
+    Args:
+        device: the simulated disk.
+        buffer_pool: optional LRU cache; None reproduces the paper's
+            default no-buffer-management setting.
+        reuse_last_block: keep a one-block cache of the most recently
+            fetched block (the paper's Section 6.5 behaviour).
+    """
+
+    def __init__(
+        self,
+        device: BlockDevice,
+        buffer_pool: Optional[BufferPool] = None,
+        reuse_last_block: bool = True,
+    ) -> None:
+        self.device = device
+        self.buffer_pool = buffer_pool
+        self.reuse_last_block = reuse_last_block
+        self._last: Optional[Tuple[str, int, bytes]] = None
+
+    @property
+    def block_size(self) -> int:
+        return self.device.block_size
+
+    @property
+    def stats(self):
+        return self.device.stats
+
+    # -- phase attribution -------------------------------------------------
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Attribute all I/O inside the block to ``name`` (see Figure 6)."""
+        previous = self.device.set_phase(name)
+        try:
+            yield
+        finally:
+            self.device.set_phase(previous)
+
+    # -- block-level API -----------------------------------------------------
+
+    def read_block(self, file: BlockFile, block_no: int) -> bytes:
+        """Read one block through the cache hierarchy."""
+        if file.memory_resident:
+            return self.device.read_block(file, block_no)
+        if self.reuse_last_block and self._last is not None:
+            name, no, data = self._last
+            if name == file.name and no == block_no:
+                return data
+        if self.buffer_pool is not None:
+            cached = self.buffer_pool.get(file.name, block_no)
+            if cached is not None:
+                if self.reuse_last_block:
+                    self._last = (file.name, block_no, cached)
+                return cached
+        data = self.device.read_block(file, block_no)
+        if self.buffer_pool is not None:
+            self.buffer_pool.put(file.name, block_no, data)
+        if self.reuse_last_block:
+            self._last = (file.name, block_no, data)
+        return data
+
+    def write_block(self, file: BlockFile, block_no: int, data: bytes) -> None:
+        """Write one block through to the device, refreshing caches."""
+        self.device.write_block(file, block_no, data)
+        if file.memory_resident:
+            return
+        if self.buffer_pool is not None:
+            self.buffer_pool.put(file.name, block_no, bytes(data))
+        if self.reuse_last_block:
+            self._last = (file.name, block_no, bytes(data))
+
+    # -- byte-level API ------------------------------------------------------
+
+    def read_bytes(self, file: BlockFile, offset: int, length: int) -> bytes:
+        """Read ``length`` bytes starting at ``offset``, fetching covering blocks."""
+        if length < 0 or offset < 0:
+            raise ValueError(f"invalid byte range offset={offset} length={length}")
+        if length == 0:
+            return b""
+        bs = self.block_size
+        first = offset // bs
+        last = (offset + length - 1) // bs
+        chunks = [self.read_block(file, no) for no in range(first, last + 1)]
+        blob = b"".join(chunks)
+        start = offset - first * bs
+        return blob[start : start + length]
+
+    def write_bytes(self, file: BlockFile, offset: int, data: bytes) -> None:
+        """Write bytes at ``offset``; partially covered blocks are read-modified."""
+        if offset < 0:
+            raise ValueError(f"invalid byte offset {offset}")
+        if not data:
+            return
+        bs = self.block_size
+        remaining = memoryview(bytes(data))
+        pos = offset
+        while remaining:
+            block_no = pos // bs
+            in_block = pos - block_no * bs
+            take = min(bs - in_block, len(remaining))
+            if take == bs:
+                self.write_block(file, block_no, bytes(remaining[:take]))
+            else:
+                current = bytearray(self.read_block(file, block_no))
+                current[in_block : in_block + take] = remaining[:take]
+                self.write_block(file, block_no, bytes(current))
+            remaining = remaining[take:]
+            pos += take
+
+    # -- cache hygiene ---------------------------------------------------------
+
+    def invalidate_file(self, file_name: str) -> None:
+        """Drop cached blocks of a file (call before/after deleting it)."""
+        if self._last is not None and self._last[0] == file_name:
+            self._last = None
+        if self.buffer_pool is not None:
+            self.buffer_pool.invalidate_file(file_name)
+
+    def drop_last_block(self) -> None:
+        """Forget the one-block reuse cache (e.g. between measured queries)."""
+        self._last = None

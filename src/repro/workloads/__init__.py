@@ -1,0 +1,15 @@
+"""Workload generation and execution (Section 5.2 of the paper)."""
+
+from .runner import RunResult, bulk_load_timed, run_workload
+from .spec import WORKLOADS, Operation, WorkloadSpec, build_workload, workload_names
+
+__all__ = [
+    "Operation",
+    "RunResult",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "build_workload",
+    "bulk_load_timed",
+    "run_workload",
+    "workload_names",
+]

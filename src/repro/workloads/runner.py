@@ -1,0 +1,138 @@
+"""Workload execution and metric collection.
+
+Runs an operation stream against a :class:`~repro.core.DiskIndex` and
+collects every metric the paper reports:
+
+* throughput (operations per simulated second) and average latency;
+* tail latency — p50 / p99 / standard deviation (Figure 12);
+* average fetched blocks per operation, split into inner and leaf
+  components via the index's ``file_roles()`` (Table 4 / Figure 4);
+* per-phase I/O time — search / insert / SMO / maintenance (Figure 6);
+* bulk-load time and on-disk storage usage (Figures 7 and 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.interface import DiskIndex
+from ..storage import Pager
+from .spec import Operation
+
+__all__ = ["RunResult", "run_workload", "bulk_load_timed"]
+
+
+@dataclass
+class RunResult:
+    """All metrics of one workload execution."""
+
+    workload: str
+    index_name: str
+    num_ops: int
+    sim_elapsed_us: float
+    throughput_ops_per_s: float
+    mean_latency_us: float
+    p50_latency_us: float
+    p99_latency_us: float
+    std_latency_us: float
+    blocks_read_per_op: float
+    blocks_written_per_op: float
+    inner_blocks_per_op: float
+    leaf_blocks_per_op: float
+    time_by_phase_us: Dict[str, float] = field(default_factory=dict)
+    reads_by_phase: Dict[str, int] = field(default_factory=dict)
+    writes_by_phase: Dict[str, int] = field(default_factory=dict)
+    bulkload_us: float = 0.0
+    allocated_bytes: int = 0
+    live_bytes: int = 0
+    latencies_us: Optional[np.ndarray] = None
+
+    def phase_latency_us(self, phase: str) -> float:
+        """Average simulated time per op spent in a phase (Figure 6)."""
+        if self.num_ops == 0:
+            return 0.0
+        return self.time_by_phase_us.get(phase, 0.0) / self.num_ops
+
+
+def bulk_load_timed(index: DiskIndex, items: Sequence[Tuple[int, int]]) -> float:
+    """Bulk load and return the simulated microseconds it took."""
+    stats = index.pager.stats
+    before = stats.elapsed_us
+    index.bulk_load(items)
+    return stats.elapsed_us - before
+
+
+def run_workload(index: DiskIndex, ops: Sequence[Operation], workload: str = "",
+                 scan_length: int = 100, keep_latencies: bool = False,
+                 validate: bool = False) -> RunResult:
+    """Execute ``ops`` against a loaded index and collect metrics.
+
+    Args:
+        index: a bulk-loaded index.
+        ops: the operation stream from :func:`build_workload`.
+        workload: label recorded in the result.
+        scan_length: elements per scan operation (paper: 100).
+        keep_latencies: retain the raw per-op latency array.
+        validate: check each lookup returns the paper's key+1 payload
+            (used by integration tests; benchmark runs skip it).
+    """
+    pager: Pager = index.pager
+    device = pager.device
+    start = device.stats.snapshot()
+    file_reads_before = {name: f.reads for name, f in device.files.items()}
+    latencies = np.empty(len(ops), dtype=np.float64)
+
+    for i, (kind, key) in enumerate(ops):
+        before_us = device.stats.elapsed_us
+        if kind == "lookup":
+            result = index.lookup(key)
+            if validate and result != key + 1:
+                raise AssertionError(
+                    f"lookup({key}) returned {result}, expected {key + 1}")
+        elif kind == "insert":
+            index.insert(key, key + 1)
+        elif kind == "scan":
+            result = index.scan(key, scan_length)
+            if validate and (not result or result[0][0] != key):
+                raise AssertionError(f"scan({key}) did not start at the key")
+        else:
+            raise ValueError(f"unknown operation kind {kind!r}")
+        latencies[i] = device.stats.elapsed_us - before_us
+
+    delta = device.stats.diff(start)
+    roles = index.file_roles()
+    inner_reads = 0
+    leaf_reads = 0
+    for name, handle in device.files.items():
+        file_delta = handle.reads - file_reads_before.get(name, 0)
+        if roles.get(name) == "inner":
+            inner_reads += file_delta
+        else:
+            leaf_reads += file_delta
+
+    n = max(len(ops), 1)
+    sim_s = delta.elapsed_us / 1e6
+    return RunResult(
+        workload=workload,
+        index_name=index.name,
+        num_ops=len(ops),
+        sim_elapsed_us=delta.elapsed_us,
+        throughput_ops_per_s=len(ops) / sim_s if sim_s > 0 else float("inf"),
+        mean_latency_us=float(latencies.mean()) if len(ops) else 0.0,
+        p50_latency_us=float(np.percentile(latencies, 50)) if len(ops) else 0.0,
+        p99_latency_us=float(np.percentile(latencies, 99)) if len(ops) else 0.0,
+        std_latency_us=float(latencies.std()) if len(ops) else 0.0,
+        blocks_read_per_op=delta.reads / n,
+        blocks_written_per_op=delta.writes / n,
+        inner_blocks_per_op=inner_reads / n,
+        leaf_blocks_per_op=leaf_reads / n,
+        time_by_phase_us=dict(delta.time_by_phase),
+        reads_by_phase=dict(delta.reads_by_phase),
+        writes_by_phase=dict(delta.writes_by_phase),
+        allocated_bytes=device.allocated_bytes,
+        live_bytes=device.live_bytes,
+        latencies_us=latencies if keep_latencies else None,
+    )

@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage import HDD, NULL_DEVICE, BlockDevice, Pager
+
+
+@pytest.fixture
+def device() -> BlockDevice:
+    """A 4 KiB-block HDD-profiled device (the paper's default)."""
+    return BlockDevice(block_size=4096, profile=HDD)
+
+
+@pytest.fixture
+def pager(device: BlockDevice) -> Pager:
+    return Pager(device)
+
+
+@pytest.fixture
+def free_pager() -> Pager:
+    """A pager over a zero-latency device, for pure-correctness tests."""
+    return Pager(BlockDevice(block_size=4096, profile=NULL_DEVICE))

@@ -1,0 +1,190 @@
+"""ALEX-specific tests: gapped arrays, bitmap, SMO mechanisms, layouts."""
+
+import random
+
+import pytest
+
+from repro.core.alex import AlexIndex, _pack_ptr, _ptr_block, _ptr_is_data
+from repro.storage import NULL_DEVICE, BlockDevice, Pager
+
+from tests.util import items_of, random_sorted_keys
+
+
+def fresh(**kwargs):
+    device = BlockDevice(4096, NULL_DEVICE)
+    return AlexIndex(Pager(device), **kwargs), device
+
+
+def test_pointer_packing_roundtrip():
+    for is_data in (True, False):
+        for block in (0, 1, 2**31, 2**32 - 1):
+            ptr = _pack_ptr(is_data, block)
+            assert _ptr_is_data(ptr) == is_data
+            assert _ptr_block(ptr) == block
+
+
+def test_parameter_validation():
+    device = BlockDevice(4096, NULL_DEVICE)
+    with pytest.raises(ValueError):
+        AlexIndex(Pager(device), layout=3)
+    device = BlockDevice(4096, NULL_DEVICE)
+    with pytest.raises(ValueError):
+        AlexIndex(Pager(device), init_density=0.9, full_density=0.8)
+    device = BlockDevice(4096, NULL_DEVICE)
+    with pytest.raises(ValueError):
+        AlexIndex(Pager(device), max_data_node_entries=4)
+
+
+def test_layouts_agree_on_results():
+    keys = random_sorted_keys(20_000, seed=1)
+    for layout in (1, 2):
+        index, _ = fresh(layout=layout)
+        index.bulk_load(items_of(keys))
+        for key in random.Random(2).sample(keys, 200):
+            assert index.lookup(key) == key + 1
+
+
+def test_layout2_uses_two_files_layout1_one():
+    index2, device2 = fresh(layout=2)
+    assert len(device2.files) == 2
+    index1, device1 = fresh(layout=1)
+    assert len(device1.files) == 1
+
+
+def test_layout1_rejects_memory_resident_inner():
+    index, _ = fresh(layout=1)
+    index.bulk_load(items_of(list(range(100))))
+    with pytest.raises(NotImplementedError):
+        index.set_inner_memory_resident(True)
+
+
+def test_expand_smo_fires_before_split():
+    index, _ = fresh(max_data_node_entries=256)
+    index.bulk_load(items_of(list(range(0, 1000, 10))))
+    for key in range(1, 500, 10):
+        index.insert(key, key + 1)
+    assert index.num_expands >= 1
+    assert index.num_splits == 0  # capacity cap not reached yet
+
+
+def test_split_smo_fires_at_max_capacity():
+    index, _ = fresh(max_data_node_entries=64, max_fanout=8)
+    keys = random_sorted_keys(1000, seed=3, key_space=10**9)
+    index.bulk_load(items_of(keys))
+    present = set(keys)
+    rng = random.Random(4)
+    while len(present) < 4000:
+        key = rng.randrange(10**9)
+        if key in present:
+            continue
+        present.add(key)
+        index.insert(key, key + 1)
+    assert index.num_splits > 0
+    for key in rng.sample(sorted(present), 500):
+        assert index.lookup(key) == key + 1
+
+
+def test_split_down_grows_height():
+    index, _ = fresh(max_data_node_entries=64, max_fanout=4)
+    keys = list(range(0, 800, 4))
+    index.bulk_load(items_of(keys))
+    height_before = index.height()
+    present = set(keys)
+    rng = random.Random(5)
+    while len(present) < 2500:
+        key = rng.randrange(3000)
+        if key in present:
+            continue
+        present.add(key)
+        index.insert(key, key + 1)
+    assert index.num_split_downs > 0
+    assert index.height() > height_before
+
+
+def test_skewed_data_builds_deeper_tree():
+    uniform, _ = fresh()
+    uniform.bulk_load(items_of(random_sorted_keys(30_000, seed=6)))
+    rng = random.Random(7)
+    clusters = sorted(set(
+        int(c) + off
+        for c in rng.sample(range(0, 2**50, 2**40), 25)
+        for off in rng.sample(range(50_000), 1200)
+    ))
+    skewed, _ = fresh()
+    skewed.bulk_load(items_of(clusters))
+    assert skewed.height() >= uniform.height()
+
+
+def test_lookup_never_touches_bitmap():
+    """ALEX overwrites gaps with entry copies so lookups skip the bitmap
+    (paper S5); verify a lookup costs only header + entry probes."""
+    device = BlockDevice(4096)
+    pager = Pager(device)
+    index = AlexIndex(pager)
+    keys = random_sorted_keys(30_000, seed=8)
+    index.bulk_load(items_of(keys))
+    pager.drop_last_block()
+    before = device.stats.reads
+    index.lookup(keys[15_000])
+    assert device.stats.reads - before <= index.height() + 3
+
+
+def test_insert_updates_header_statistics():
+    index, _ = fresh()
+    keys = list(range(0, 5000, 10))
+    index.bulk_load(items_of(keys))
+    block, _path = index._descend(4001)
+    before = index._read_data_header(block)
+    index.insert(4001, 4002)
+    after = index._read_data_header(block)
+    assert after.num_inserts == before.num_inserts + 1
+    assert after.num_keys == before.num_keys + 1
+
+
+def test_gapped_insert_cheaper_than_shift():
+    """Inserting into a gap writes one entry; a conflicting slot forces
+    shift writes — the gapped array's raison d'etre."""
+    index, device = fresh()
+    keys = list(range(0, 100_000, 100))
+    index.bulk_load(items_of(keys))
+    block, _ = index._descend(keys[50])
+    header_before = index._read_data_header(block)
+    shifts_before = header_before.num_shifts
+    rng = random.Random(9)
+    for key in rng.sample(range(1, 100_000), 300):
+        if key % 100 == 0:
+            continue
+        try:
+            index.insert(key, key + 1)
+        except KeyError:
+            pass
+    # Some inserts found gaps (no shift) — the counter grows slower than
+    # the insert count.
+    block, _ = index._descend(keys[50])
+    header_after = index._read_data_header(block)
+    assert header_after.num_shifts - shifts_before < 300
+
+
+def test_scan_uses_bitmap_blocks():
+    device = BlockDevice(4096)
+    pager = Pager(device)
+    index = AlexIndex(pager)
+    keys = random_sorted_keys(30_000, seed=10)
+    index.bulk_load(items_of(keys))
+    pager.drop_last_block()
+    before = device.stats.reads
+    index.lookup(keys[9])
+    lookup_cost = device.stats.reads - before
+    pager.drop_last_block()
+    before = device.stats.reads
+    index.scan(keys[9], 2000)
+    scan_cost = device.stats.reads - before
+    assert scan_cost > lookup_cost  # bitmap + extra entry blocks
+
+
+def test_empty_bulk_load():
+    index, _ = fresh()
+    index.bulk_load([])
+    assert index.lookup(42) is None
+    index.insert(42, 43)
+    assert index.lookup(42) == 43

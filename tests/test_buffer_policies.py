@@ -1,0 +1,110 @@
+"""Tests for the CLOCK and FIFO buffer-pool policies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import ClockBufferPool, FifoBufferPool, make_buffer_pool
+
+
+def test_factory_dispatch():
+    assert make_buffer_pool(4, "lru").policy == "lru"
+    assert make_buffer_pool(4, "fifo").policy == "fifo"
+    assert make_buffer_pool(4, "clock").policy == "clock"
+    with pytest.raises(ValueError):
+        make_buffer_pool(4, "random")
+
+
+def test_fifo_ignores_recency():
+    pool = FifoBufferPool(2)
+    pool.put("f", 1, b"1")
+    pool.put("f", 2, b"2")
+    pool.get("f", 1)           # touching 1 must NOT save it
+    pool.put("f", 3, b"3")     # evicts 1 (oldest insertion)
+    assert pool.get("f", 1) is None
+    assert pool.get("f", 2) == b"2"
+
+
+def test_fifo_refresh_keeps_queue_position():
+    pool = FifoBufferPool(2)
+    pool.put("f", 1, b"old")
+    pool.put("f", 2, b"2")
+    pool.put("f", 1, b"new")   # refresh, still the oldest
+    pool.put("f", 3, b"3")     # evicts 1
+    assert pool.get("f", 1) is None
+    assert pool.get("f", 2) == b"2"
+
+
+def test_clock_second_chance():
+    pool = ClockBufferPool(2)
+    pool.put("f", 1, b"1")
+    pool.put("f", 2, b"2")
+    pool.get("f", 1)           # reference bit on 1
+    pool.put("f", 3, b"3")     # hand skips referenced 1, evicts 2
+    assert pool.get("f", 1) == b"1"
+    assert pool.get("f", 2) is None
+    assert pool.get("f", 3) == b"3"
+
+
+def test_clock_keeps_hot_set_under_cold_churn():
+    """A hot set re-referenced between cold misses must stay cached — the
+    mis-advanced-hand bug evicted every newcomer immediately and let cold
+    blocks push the hot set out."""
+    pool = ClockBufferPool(4)
+    for block in (0, 1, 2):
+        pool.put("f", block, bytes([block]))
+    for cold in range(100, 140):
+        for block in (0, 1, 2):       # keep the hot set referenced
+            assert pool.get("f", block) is not None, (cold, block)
+        pool.put("f", cold, b"c")     # cold block churns through slot 4
+    assert pool.hit_rate > 0.9
+
+
+def test_clock_invalidate_keeps_ring_consistent():
+    pool = ClockBufferPool(3)
+    for block in range(3):
+        pool.put("f", block, bytes([block]))
+    pool.invalidate("f", 1)
+    assert pool.get("f", 1) is None
+    pool.put("f", 7, b"7")
+    pool.put("f", 8, b"8")  # forces an eviction pass over the mutated ring
+    assert len(pool) <= 3
+
+
+def test_clock_invalidate_file():
+    pool = ClockBufferPool(4)
+    pool.put("a", 1, b"x")
+    pool.put("b", 1, b"y")
+    pool.invalidate_file("a")
+    assert pool.get("a", 1) is None
+    assert pool.get("b", 1) == b"y"
+
+
+def test_clear_resets_clock_state():
+    pool = ClockBufferPool(2)
+    pool.put("f", 1, b"1")
+    pool.clear()
+    assert len(pool) == 0
+    pool.put("f", 2, b"2")
+    assert pool.get("f", 2) == b"2"
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(["get", "put", "inv"]),
+                          st.integers(0, 7)), max_size=80),
+       st.integers(1, 4), st.sampled_from(["lru", "fifo", "clock"]))
+def test_policies_never_exceed_capacity(ops, capacity, policy):
+    pool = make_buffer_pool(capacity, policy)
+    shadow = {}
+    for op, block in ops:
+        if op == "put":
+            pool.put("f", block, bytes([block]))
+            shadow[("f", block)] = bytes([block])
+        elif op == "get":
+            got = pool.get("f", block)
+            if got is not None:
+                # Whatever is cached must be the last value written.
+                assert got == shadow[("f", block)]
+        else:
+            pool.invalidate("f", block)
+        assert len(pool) <= capacity

@@ -1,0 +1,106 @@
+"""Unit and property tests for the LRU buffer pool."""
+
+from collections import OrderedDict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import BufferPool
+
+
+def test_capacity_must_be_nonnegative():
+    with pytest.raises(ValueError):
+        BufferPool(-1)
+
+
+def test_zero_capacity_caches_nothing():
+    pool = BufferPool(0)
+    pool.put("f", 0, b"x")
+    assert pool.get("f", 0) is None
+    assert len(pool) == 0
+
+
+def test_put_get_roundtrip():
+    pool = BufferPool(4)
+    pool.put("f", 1, b"abc")
+    assert pool.get("f", 1) == b"abc"
+    assert pool.hits == 1
+
+
+def test_miss_counts():
+    pool = BufferPool(4)
+    assert pool.get("f", 9) is None
+    assert pool.misses == 1
+    assert pool.hit_rate == 0.0
+
+
+def test_lru_eviction_order():
+    pool = BufferPool(2)
+    pool.put("f", 1, b"1")
+    pool.put("f", 2, b"2")
+    pool.get("f", 1)           # touch 1: now 2 is the LRU
+    pool.put("f", 3, b"3")     # evicts 2
+    assert pool.get("f", 2) is None
+    assert pool.get("f", 1) == b"1"
+    assert pool.get("f", 3) == b"3"
+
+
+def test_put_refreshes_existing_entry():
+    pool = BufferPool(2)
+    pool.put("f", 1, b"old")
+    pool.put("f", 1, b"new")
+    assert len(pool) == 1
+    assert pool.get("f", 1) == b"new"
+
+
+def test_invalidate_single_block():
+    pool = BufferPool(4)
+    pool.put("f", 1, b"x")
+    pool.invalidate("f", 1)
+    assert pool.get("f", 1) is None
+    pool.invalidate("f", 99)  # idempotent on absent keys
+
+
+def test_invalidate_file_drops_only_that_file():
+    pool = BufferPool(8)
+    pool.put("a", 1, b"a1")
+    pool.put("a", 2, b"a2")
+    pool.put("b", 1, b"b1")
+    pool.invalidate_file("a")
+    assert pool.get("a", 1) is None
+    assert pool.get("a", 2) is None
+    assert pool.get("b", 1) == b"b1"
+
+
+def test_clear():
+    pool = BufferPool(4)
+    pool.put("f", 1, b"x")
+    pool.clear()
+    assert len(pool) == 0
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(
+    st.tuples(st.sampled_from(["get", "put"]), st.integers(0, 9)), max_size=60),
+    st.integers(1, 5))
+def test_lru_matches_reference_model(ops, capacity):
+    """The pool must behave exactly like an OrderedDict-based LRU model."""
+    pool = BufferPool(capacity)
+    model: "OrderedDict[tuple, bytes]" = OrderedDict()
+    for op, block in ops:
+        if op == "put":
+            data = bytes([block])
+            pool.put("f", block, data)
+            model[("f", block)] = data
+            model.move_to_end(("f", block))
+            while len(model) > capacity:
+                model.popitem(last=False)
+        else:
+            expected = model.get(("f", block))
+            if expected is not None:
+                model.move_to_end(("f", block))
+            assert pool.get("f", block) == expected
+    assert set(model) == {("f", b) for (f, b) in
+                          [(k[0], k[1]) for k in model]}
+    assert len(pool) == len(model)

@@ -1,0 +1,122 @@
+"""Failure injection: on-disk corruption must be caught by verify().
+
+Each test flips bytes an index's verifier actually guards, then checks
+the walk raises instead of silently serving garbage.
+"""
+
+import struct
+
+import pytest
+
+from repro.core import make_index
+from repro.storage import NULL_DEVICE, BlockDevice, Pager
+
+from tests.util import items_of, random_sorted_keys
+
+KEYS = random_sorted_keys(5000, seed=31)
+
+
+def loaded(name):
+    index = make_index(name, Pager(BlockDevice(4096, NULL_DEVICE)))
+    index.bulk_load(items_of(KEYS))
+    return index
+
+
+def _swap_entries(file, block_no, first_offset, second_offset, width=8):
+    block = bytearray(file.blocks[block_no])
+    (block[first_offset : first_offset + width],
+     block[second_offset : second_offset + width]) = (
+        block[second_offset : second_offset + width],
+        block[first_offset : first_offset + width])
+    file.blocks[block_no] = block
+
+
+def test_btree_detects_leaf_disorder():
+    index = loaded("btree")
+    _swap_entries(index._leaf_file, 0, 16, 32)  # swap first two keys
+    with pytest.raises(AssertionError):
+        index.verify()
+
+
+def test_btree_detects_count_mismatch():
+    index = loaded("btree")
+    index.tree.num_records += 1  # meta lies about the record count
+    with pytest.raises(AssertionError):
+        index.verify()
+
+
+def test_fiting_detects_segment_disorder():
+    index = loaded("fiting")
+    # Segment 1 starts at block 1 of the data file (block 0 = head buffer);
+    # its entries start 64 bytes in.
+    _swap_entries(index._data, 1, 64, 80)
+    with pytest.raises(AssertionError):
+        index.verify()
+
+
+def test_fiting_detects_chain_break():
+    index = loaded("fiting")
+    header = index._read_header(index.first_segment_block)
+    header.right_sib = index.first_segment_block  # self-loop
+    index._write_header(index.first_segment_block, header)
+    if index.num_segments > 1:
+        with pytest.raises(AssertionError):
+            index.verify()
+
+
+def test_pgm_detects_component_disorder():
+    index = loaded("pgm")
+    component = next(c for c in index.components if c is not None)
+    _swap_entries(component.data_file, 0, 0, 16)
+    with pytest.raises(AssertionError):
+        index.verify()
+
+
+def test_alex_detects_bitmap_corruption():
+    index = loaded("alex")
+    block, _ = index._descend(KEYS[0])
+    # Zero the first bitmap byte: the population no longer matches the
+    # header's num_keys.
+    offset = index._bitmap_offset(block, 0) % 4096
+    bitmap_block = index._bitmap_offset(block, 0) // 4096
+    raw = bytearray(index._data_file.blocks[bitmap_block])
+    raw[offset] = 0 if raw[offset] else 0xFF
+    index._data_file.blocks[bitmap_block] = raw
+    with pytest.raises(AssertionError):
+        index.verify()
+
+
+def test_lipp_detects_misplaced_key():
+    index = loaded("lipp")
+    header = index._read_header(index.root_block)
+    # Find a DATA slot and move its entry to a wrong (NULL) slot.
+    from repro.core.lipp import SLOT_DATA, SLOT_NULL
+    data_slot = null_slot = None
+    for slot in range(header.num_slots):
+        flag, key, payload = index._read_slot(index.root_block, slot)
+        if flag == SLOT_DATA and data_slot is None:
+            data_slot = (slot, key, payload)
+        elif flag == SLOT_NULL and null_slot is None and data_slot is not None:
+            null_slot = slot
+        if data_slot and null_slot:
+            break
+    assert data_slot and null_slot is not None
+    slot, key, payload = data_slot
+    index._write_slot(index.root_block, null_slot, SLOT_DATA, key, payload)
+    with pytest.raises(AssertionError):
+        index.verify()
+
+
+def test_plid_detects_directory_divergence():
+    index = loaded("plid")
+    # Break the leaf chain: point the first leaf's next at itself.
+    entries, _next, prev = index._read_leaf(index.first_leaf_block)
+    index._write_leaf(index.first_leaf_block, entries,
+                      index.first_leaf_block, prev)
+    with pytest.raises(AssertionError):
+        index.verify()
+
+
+def test_verify_passes_on_untouched_indexes():
+    for name in ("btree", "fiting", "pgm", "alex", "lipp", "plid"):
+        assert loaded(name).verify() == len(KEYS)

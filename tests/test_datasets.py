@@ -1,0 +1,119 @@
+"""Tests for the synthetic datasets and Table 3 profiling."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASET_NAMES,
+    REPORTED_DATASETS,
+    btree_leaf_count,
+    dataset_names,
+    generate_insert_keys,
+    items_for,
+    make_dataset,
+    profile_dataset,
+    sample_lookup_keys,
+)
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_exact_size_sorted_unique(name):
+    keys = make_dataset(name, 5000)
+    assert len(keys) == 5000
+    assert keys.dtype == np.uint64
+    diffs = np.diff(keys.astype(object))
+    assert all(d > 0 for d in diffs)
+
+
+@pytest.mark.parametrize("name", REPORTED_DATASETS)
+def test_deterministic_per_seed(name):
+    a = make_dataset(name, 2000, seed=1)
+    b = make_dataset(name, 2000, seed=1)
+    c = make_dataset(name, 2000, seed=2)
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+
+
+def test_unknown_dataset_rejected():
+    with pytest.raises(ValueError):
+        make_dataset("nope", 100)
+    with pytest.raises(ValueError):
+        make_dataset("ycsb", 0)
+
+
+def test_items_for_payload_convention():
+    assert items_for([5, 9]) == [(5, 6), (9, 10)]
+
+
+def test_sample_lookup_keys_are_existing():
+    keys = make_dataset("ycsb", 1000)
+    sample = sample_lookup_keys(keys, 50)
+    existing = set(int(k) for k in keys)
+    assert len(sample) == 50
+    assert all(k in existing for k in sample)
+
+
+def test_generate_insert_keys_are_fresh():
+    keys = make_dataset("ycsb", 1000)
+    fresh = generate_insert_keys(keys, 200)
+    existing = set(int(k) for k in keys)
+    assert len(fresh) == 200
+    assert len(set(fresh)) == 200
+    assert not set(fresh) & existing
+
+
+def test_btree_leaf_count_matches_paper():
+    # 200M keys, 4 KiB blocks, 0.8 fill -> 980,393 leaves (Table 3).
+    assert btree_leaf_count(200_000_000) == 980_393
+    assert btree_leaf_count(800_000_000) == 3_921_569
+
+
+def test_profile_reports_all_error_bounds():
+    keys = make_dataset("ycsb", 3000)
+    profile = profile_dataset("ycsb", keys, error_bounds=(16, 64))
+    assert set(profile.segments_by_error) == {16, 64}
+    assert profile.conflict_degree >= 1
+    assert profile.btree_leaves == btree_leaf_count(3000)
+
+
+def test_hardness_ordering_matches_table3():
+    """The load-bearing property: relative hardness must match the paper.
+
+    Table 3 at the default error bound 64: FB is the hardest dataset for
+    PLA; OSM/Genome/Planet are the hard cluster; YCSB and Stack are the
+    easiest.  For conflict degree: OSM >> Genome > FB, with YCSB/Stack/
+    Libio at the bottom.
+    """
+    profiles = {
+        name: profile_dataset(name, make_dataset(name, 50_000),
+                              error_bounds=(64,))
+        for name in dataset_names()
+    }
+    seg = {name: p.segments_by_error[64] for name, p in profiles.items()}
+    cd = {name: p.conflict_degree for name, p in profiles.items()}
+
+    assert seg["fb"] == max(seg.values())
+    hard_cluster = {seg["osm"], seg["genome"], seg["planet"]}
+    assert min(hard_cluster) > seg["libio"] > seg["covid"]
+    assert seg["covid"] >= seg["history"] > seg["ycsb"]
+    assert seg["stack"] <= seg["ycsb"]
+
+    assert cd["osm"] == max(cd.values())
+    assert cd["osm"] > 2 * cd["genome"]
+    assert cd["genome"] > cd["fb"] > cd["covid"]
+    assert cd["covid"] > cd["history"]
+    assert max(cd["ycsb"], cd["libio"], cd["wise"], cd["stack"]) < cd["fb"]
+
+
+def test_osm_800m_is_osm_shaped():
+    base = profile_dataset("osm", make_dataset("osm", 20_000), error_bounds=(64,))
+    large = profile_dataset("osm_800m", make_dataset("osm_800m", 80_000),
+                            error_bounds=(64,))
+    assert large.segments_by_error[64] > base.segments_by_error[64]
+    assert large.conflict_degree > base.conflict_degree
+
+
+def test_dataset_names_listing():
+    assert "osm_800m" not in dataset_names()
+    assert "osm_800m" in dataset_names(include_large=True)
+    assert len(dataset_names(include_large=True)) == 11

@@ -1,0 +1,37 @@
+"""Tests for the EXPERIMENTS.md generator and dataset overrides."""
+
+import os
+
+import pytest
+
+from repro.bench.experiments import _reported_datasets
+from repro.bench.experiments_doc import PAPER_EXPECTATIONS, render_experiments_md
+
+
+def test_every_experiment_has_an_expectation_entry():
+    from repro.bench import experiment_ids
+    missing = set(experiment_ids()) - set(PAPER_EXPECTATIONS)
+    assert not missing, f"experiments without EXPERIMENTS.md entries: {missing}"
+
+
+def test_render_without_results(tmp_path):
+    text = render_experiments_md(str(tmp_path))
+    assert "# EXPERIMENTS" in text
+    assert "Table 3" in text
+    assert "(no archived result yet" in text
+
+
+def test_render_embeds_archived_tables(tmp_path):
+    (tmp_path / "table3.txt").write_text("Table 3: dataset profiling\nROWDATA")
+    text = render_experiments_md(str(tmp_path))
+    assert "ROWDATA" in text
+    assert "<details>" in text
+
+
+def test_dataset_override_env(monkeypatch):
+    monkeypatch.delenv("REPRO_DATASETS", raising=False)
+    assert _reported_datasets() == ("fb", "osm", "ycsb")
+    monkeypatch.setenv("REPRO_DATASETS", "ycsb, stack")
+    assert _reported_datasets() == ("ycsb", "stack")
+    monkeypatch.setenv("REPRO_DATASETS", "all")
+    assert len(_reported_datasets()) == 10

@@ -1,0 +1,180 @@
+"""FITing-tree-specific tests: segments, delta buffers, SMOs, head buffer."""
+
+import random
+
+import pytest
+
+from repro.core.fiting import FitingTreeIndex
+from repro.storage import NULL_DEVICE, BlockDevice, Pager
+
+from tests.util import items_of, random_sorted_keys
+
+
+def fresh(**kwargs):
+    device = BlockDevice(4096, NULL_DEVICE)
+    return FitingTreeIndex(Pager(device), **kwargs), device
+
+
+def test_parameter_validation():
+    device = BlockDevice(4096, NULL_DEVICE)
+    with pytest.raises(ValueError):
+        FitingTreeIndex(Pager(device), error_bound=0)
+    device = BlockDevice(4096, NULL_DEVICE)
+    with pytest.raises(ValueError):
+        FitingTreeIndex(Pager(device), buffer_capacity=0)
+
+
+def test_segment_count_tracks_hardness():
+    smooth = list(range(0, 500_000, 10))
+    index, _ = fresh()
+    index.bulk_load(items_of(smooth))
+    assert index.num_segments == 1  # perfectly linear: one segment
+
+    rng = random.Random(1)
+    jagged = sorted(rng.sample(range(10**14), 50_000))
+    hard, _ = fresh()
+    hard.bulk_load(items_of(jagged))
+    assert hard.num_segments > index.num_segments
+
+
+def test_error_bound_controls_segments():
+    keys = random_sorted_keys(20_000, seed=5)
+    tight, _ = fresh(error_bound=8)
+    tight.bulk_load(items_of(keys))
+    loose, _ = fresh(error_bound=256)
+    loose.bulk_load(items_of(keys))
+    assert tight.num_segments >= loose.num_segments
+
+
+def test_buffer_absorbs_inserts_without_smo():
+    keys = list(range(0, 100_000, 10))
+    index, _ = fresh(buffer_capacity=256)
+    index.bulk_load(items_of(keys))
+    for key in range(5, 2000, 10):  # < 256 inserts into one segment region
+        index.insert(key, key + 1)
+    assert index.num_resegments == 0
+    assert index.lookup(15) == 16
+
+
+def test_resegment_triggers_when_buffer_full():
+    keys = list(range(0, 100_000, 10))
+    index, _ = fresh(buffer_capacity=16)
+    index.bulk_load(items_of(keys))
+    for key in range(1, 400, 2):
+        index.insert(key, key + 1)
+    assert index.num_resegments >= 1
+    for key in range(1, 400, 2):
+        assert index.lookup(key) == key + 1
+    for key in range(0, 400, 10):
+        assert index.lookup(key) == key + 1
+
+
+def test_resegment_updates_segment_count():
+    keys = list(range(0, 50_000, 10))
+    index, _ = fresh(buffer_capacity=8)
+    index.bulk_load(items_of(keys))
+    before = index.num_segments
+    rng = random.Random(2)
+    inserted = set()
+    while len(inserted) < 500:
+        key = rng.randrange(50_000)
+        if key % 10 == 0 or key in inserted:
+            continue
+        inserted.add(key)
+        index.insert(key, key + 1)
+    assert index.num_resegments > 0
+    assert index.num_segments >= before
+
+
+def test_head_buffer_collects_small_keys():
+    keys = list(range(10_000, 20_000, 5))
+    index, _ = fresh()
+    index.bulk_load(items_of(keys))
+    for key in range(100, 140):
+        index.insert(key, key + 1)
+    for key in range(100, 140):
+        assert index.lookup(key) == key + 1
+    # The head buffer participates in scans.
+    assert index.scan(100, 3) == [(100, 101), (101, 102), (102, 103)]
+
+
+def test_head_buffer_flush_creates_segments():
+    keys = list(range(100_000, 200_000, 10))
+    index, _ = fresh()
+    index.bulk_load(items_of(keys))
+    segments_before = index.num_segments
+    head_capacity = index._head_capacity
+    small = list(range(0, (head_capacity + 10) * 3, 3))
+    for key in small:
+        index.insert(key, key + 1)
+    assert index.num_segments > segments_before
+    for key in small:
+        assert index.lookup(key) == key + 1, key
+    assert index.scan(0, 2) == [(0, 1), (3, 4)]
+    assert index.global_min == 0
+
+
+def test_sibling_chain_after_resegment():
+    keys = list(range(0, 30_000, 3))
+    index, _ = fresh(buffer_capacity=8)
+    index.bulk_load(items_of(keys))
+    present = sorted(keys)
+    rng = random.Random(3)
+    import bisect
+    for _ in range(300):
+        key = rng.randrange(30_000)
+        i = bisect.bisect_left(present, key)
+        if i < len(present) and present[i] == key:
+            continue
+        present.insert(i, key)
+        index.insert(key, key + 1)
+    # A long scan crosses many segments; the sibling chain must be intact.
+    result = index.scan(present[0], len(present))
+    assert result == [(k, k + 1) for k in present]
+
+
+def test_lookup_hits_buffered_key_via_header_path(device):
+    index = FitingTreeIndex(Pager(device))
+    keys = list(range(0, 100_000, 10))
+    index.bulk_load(items_of(keys))
+    index.insert(15, 16)
+    assert index.lookup(15) == 16
+
+
+def test_lookup_miss_reads_more_blocks_than_hit():
+    device = BlockDevice(4096)
+    pager = Pager(device)
+    index = FitingTreeIndex(pager)
+    keys = random_sorted_keys(50_000, seed=6)
+    index.bulk_load(items_of(keys))
+    pager.drop_last_block()
+    before = device.stats.reads
+    index.lookup(keys[25_000])
+    hit_cost = device.stats.reads - before
+    pager.drop_last_block()
+    missing = keys[25_000] + 1
+    assert missing not in set(keys)
+    before = device.stats.reads
+    index.lookup(missing)
+    miss_cost = device.stats.reads - before
+    # A miss additionally consults the segment header + delta buffer.
+    assert miss_cost >= hit_cost
+
+
+def test_memory_resident_inner_removes_directory_io():
+    device = BlockDevice(4096)
+    pager = Pager(device)
+    index = FitingTreeIndex(pager)
+    keys = random_sorted_keys(50_000, seed=7)
+    index.bulk_load(items_of(keys))
+    index.set_inner_memory_resident(True)
+    pager.drop_last_block()
+    before = device.stats.reads
+    index.lookup(keys[123])
+    resident_cost = device.stats.reads - before
+    index.set_inner_memory_resident(False)
+    pager.drop_last_block()
+    before = device.stats.reads
+    index.lookup(keys[456])
+    disk_cost = device.stats.reads - before
+    assert resident_cost < disk_cost

@@ -1,0 +1,276 @@
+"""Behavioural contract shared by every index in the study.
+
+Each test is parameterized over the five studied indexes (and, for the
+read-only subset, the hybrid variants): whatever the internal structure,
+the observable ordered-map behaviour must be identical.
+"""
+
+import bisect
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import index_names, make_index
+from repro.storage import NULL_DEVICE, BlockDevice, Pager
+
+ALL_INDEXES = index_names(include_plid=True)
+READONLY_INDEXES = index_names(include_hybrids=True, include_plid=True)
+
+
+def fresh(name: str):
+    return make_index(name, Pager(BlockDevice(4096, NULL_DEVICE)))
+
+
+def loaded(name: str, keys):
+    index = fresh(name)
+    index.bulk_load([(k, k + 1) for k in keys])
+    return index
+
+
+KEYS = sorted(random.Random(7).sample(range(10**12), 4000))
+
+
+@pytest.mark.parametrize("name", READONLY_INDEXES)
+def test_lookup_every_bulk_key(name):
+    index = loaded(name, KEYS)
+    for key in random.Random(1).sample(KEYS, 400):
+        assert index.lookup(key) == key + 1
+
+
+@pytest.mark.parametrize("name", READONLY_INDEXES)
+def test_lookup_missing_keys_return_none(name):
+    index = loaded(name, KEYS)
+    present = set(KEYS)
+    rng = random.Random(2)
+    for _ in range(200):
+        key = rng.randrange(10**12)
+        if key not in present:
+            assert index.lookup(key) is None
+    # Outside the key range on both sides.
+    assert index.lookup(KEYS[0] - 1 if KEYS[0] else 10**13) is None
+    assert index.lookup(KEYS[-1] + 1) is None
+
+
+@pytest.mark.parametrize("name", READONLY_INDEXES)
+def test_scan_returns_sorted_run(name):
+    index = loaded(name, KEYS)
+    for start_index in (0, 1, 1234, len(KEYS) // 2, len(KEYS) - 50):
+        start = KEYS[start_index]
+        result = index.scan(start, 100)
+        assert result == [(k, k + 1) for k in KEYS[start_index : start_index + 100]]
+
+
+@pytest.mark.parametrize("name", READONLY_INDEXES)
+def test_scan_from_nonexistent_start(name):
+    index = loaded(name, KEYS)
+    start = KEYS[100] + 1
+    assert start not in set(KEYS)
+    i = bisect.bisect_left(KEYS, start)
+    assert index.scan(start, 10) == [(k, k + 1) for k in KEYS[i : i + 10]]
+
+
+@pytest.mark.parametrize("name", READONLY_INDEXES)
+def test_scan_past_the_end(name):
+    index = loaded(name, KEYS)
+    assert index.scan(KEYS[-1], 10) == [(KEYS[-1], KEYS[-1] + 1)]
+    assert index.scan(KEYS[-1] + 1, 10) == []
+
+
+@pytest.mark.parametrize("name", READONLY_INDEXES)
+def test_scan_zero_count(name):
+    index = loaded(name, KEYS)
+    assert index.scan(KEYS[0], 0) == []
+
+
+@pytest.mark.parametrize("name", ALL_INDEXES)
+def test_insert_then_lookup(name):
+    index = loaded(name, KEYS)
+    present = set(KEYS)
+    rng = random.Random(3)
+    inserted = []
+    while len(inserted) < 1500:
+        key = rng.randrange(10**12)
+        if key in present:
+            continue
+        present.add(key)
+        index.insert(key, key + 1)
+        inserted.append(key)
+    for key in inserted:
+        assert index.lookup(key) == key + 1
+    # Old keys are still reachable after all structure modifications.
+    for key in rng.sample(KEYS, 300):
+        assert index.lookup(key) == key + 1
+
+
+#: Indexes whose insert path passes over existing keys and can detect
+#: duplicates.  PGM (LSM) and the FITing-tree (delta buffers) cannot see
+#: keys stored below their write path; duplicates shadow instead.
+STRICT_DUPLICATE_INDEXES = [n for n in ALL_INDEXES if n not in ("pgm", "fiting")]
+
+
+@pytest.mark.parametrize("name", STRICT_DUPLICATE_INDEXES)
+def test_insert_duplicate_raises(name):
+    index = loaded(name, KEYS)
+    with pytest.raises(KeyError):
+        index.insert(KEYS[10], 0)
+
+
+def test_fiting_duplicate_within_buffer_raises():
+    index = loaded("fiting", KEYS)
+    new_key = KEYS[10] + 1
+    assert new_key not in set(KEYS)
+    index.insert(new_key, 1)
+    with pytest.raises(KeyError):
+        index.insert(new_key, 2)
+
+
+def test_pgm_duplicate_insert_shadows():
+    """PGM is an LSM: a re-inserted key shadows the older component's
+    value (the buffer is the newest run), it does not raise."""
+    index = loaded("pgm", KEYS)
+    index.insert(KEYS[10], 999)
+    assert index.lookup(KEYS[10]) == 999
+    with pytest.raises(KeyError):
+        index.insert(KEYS[10], 1000)  # duplicates *within* the buffer do raise
+
+
+@pytest.mark.parametrize("name", ALL_INDEXES)
+def test_scan_sees_inserted_keys(name):
+    index = loaded(name, KEYS)
+    present = sorted(KEYS)
+    rng = random.Random(4)
+    for _ in range(800):
+        key = rng.randrange(10**12)
+        i = bisect.bisect_left(present, key)
+        if i < len(present) and present[i] == key:
+            continue
+        present.insert(i, key)
+        index.insert(key, key + 1)
+    for start_index in (0, len(present) // 3, len(present) - 120):
+        start = present[start_index]
+        assert index.scan(start, 100) == [
+            (k, k + 1) for k in present[start_index : start_index + 100]]
+
+
+@pytest.mark.parametrize("name", ALL_INDEXES)
+def test_insert_below_global_minimum(name):
+    index = loaded(name, KEYS)
+    assert KEYS[0] > 100
+    small = [KEYS[0] - delta for delta in (1, 7, 50, 99)]
+    for key in small:
+        index.insert(key, key + 1)
+    for key in small:
+        assert index.lookup(key) == key + 1
+    assert index.scan(small[-1], 3)[0] == (small[-1], small[-1] + 1)
+
+
+@pytest.mark.parametrize("name", ALL_INDEXES)
+def test_insert_above_global_maximum(name):
+    index = loaded(name, KEYS)
+    big = [KEYS[-1] + delta for delta in (1, 9, 1000)]
+    for key in big:
+        index.insert(key, key + 1)
+    for key in big:
+        assert index.lookup(key) == key + 1
+
+
+@pytest.mark.parametrize("name", ALL_INDEXES)
+def test_bulk_load_rejects_unsorted(name):
+    index = fresh(name)
+    with pytest.raises(ValueError):
+        index.check_bulk_items([(2, 3), (1, 2)])
+
+
+@pytest.mark.parametrize("name", READONLY_INDEXES)
+def test_double_bulk_load_rejected(name):
+    index = loaded(name, KEYS[:100])
+    with pytest.raises(RuntimeError):
+        index.bulk_load([(1, 2)])
+
+
+@pytest.mark.parametrize("name", ALL_INDEXES)
+def test_height_positive(name):
+    index = loaded(name, KEYS)
+    assert index.height() >= 1
+
+
+@pytest.mark.parametrize("name", ALL_INDEXES)
+def test_file_roles_cover_all_files(name):
+    index = loaded(name, KEYS)
+    roles = index.file_roles()
+    assert set(roles.values()) <= {"inner", "leaf"}
+    assert set(roles) <= set(index.pager.device.files)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.data())
+@pytest.mark.parametrize("name", ALL_INDEXES)
+def test_random_operation_sequences_match_reference(name, data):
+    """Property test: any interleaving of inserts/lookups/scans matches a
+    sorted-dict reference model."""
+    base = data.draw(st.lists(st.integers(0, 10**9), min_size=10, max_size=120,
+                              unique=True).map(sorted), label="bulk keys")
+    index = loaded(name, base)
+    model = {k: k + 1 for k in base}
+    ops = data.draw(st.lists(
+        st.tuples(st.sampled_from(["insert", "lookup", "scan"]),
+                  st.integers(0, 10**9)),
+        max_size=60), label="ops")
+    for kind, key in ops:
+        if kind == "insert":
+            if key in model:
+                # PGM (LSM) and FITing (delta buffers) shadow duplicates
+                # unless they collide in their own write buffer; the
+                # other indexes always raise.
+                if name not in ("pgm", "fiting"):
+                    with pytest.raises(KeyError):
+                        index.insert(key, key + 1)
+                else:
+                    try:
+                        index.insert(key, key + 1)
+                    except KeyError:
+                        pass
+            else:
+                model[key] = key + 1
+                index.insert(key, key + 1)
+        elif kind == "lookup":
+            assert index.lookup(key) == model.get(key)
+        else:
+            expected = sorted((k, v) for k, v in model.items() if k >= key)[:5]
+            assert index.scan(key, 5) == expected
+
+
+@pytest.mark.parametrize("name", READONLY_INDEXES)
+def test_scan_range(name):
+    index = loaded(name, KEYS)
+    low, high = KEYS[100], KEYS[450]
+    result = index.scan_range(low, high)
+    assert result == [(k, k + 1) for k in KEYS[100:451]]
+    assert index.scan_range(high, low) == []
+    assert index.scan_range(KEYS[5], KEYS[5]) == [(KEYS[5], KEYS[5] + 1)]
+
+
+@pytest.mark.parametrize("name", ALL_INDEXES)
+def test_grow_from_empty(name):
+    """An index bulk-loaded with nothing must accept inserts and grow
+    through its SMOs from scratch."""
+    index = fresh(name)
+    index.bulk_load([])
+    assert index.lookup(42) is None
+    assert index.scan(0, 5) == []
+    rng = random.Random(9)
+    present = []
+    seen = set()
+    while len(present) < 1500:
+        key = rng.randrange(10**10)
+        if key in seen:
+            continue
+        seen.add(key)
+        present.append(key)
+        index.insert(key, key + 1)
+    for key in rng.sample(present, 300):
+        assert index.lookup(key) == key + 1
+    ordered = sorted(seen)
+    assert index.scan(ordered[0], 50) == [(k, k + 1) for k in ordered[:50]]

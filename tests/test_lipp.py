@@ -1,0 +1,188 @@
+"""LIPP-specific tests: FMCD nodes, conflict children, path statistics."""
+
+import random
+
+import pytest
+
+from repro.core.lipp import SLOT_DATA, SLOT_NODE, SLOT_NULL, LippIndex
+from repro.storage import NULL_DEVICE, BlockDevice, Pager
+
+from tests.util import items_of, random_sorted_keys
+
+
+def fresh(**kwargs):
+    device = BlockDevice(4096, NULL_DEVICE)
+    return LippIndex(Pager(device), **kwargs), device
+
+
+def test_parameter_validation():
+    device = BlockDevice(4096, NULL_DEVICE)
+    with pytest.raises(ValueError):
+        LippIndex(Pager(device), rebuild_factor=0)
+
+
+def test_no_memory_resident_inner():
+    """The paper excludes LIPP from the hybrid case (Section 6.2)."""
+    index, _ = fresh()
+    index.bulk_load(items_of([1, 2, 3]))
+    with pytest.raises(NotImplementedError):
+        index.set_inner_memory_resident(True)
+
+
+def test_exact_positions_on_uniform_data():
+    """FMCD on uniform data places nearly every key at depth 1."""
+    index, _ = fresh()
+    keys = random_sorted_keys(20_000, seed=1)
+    index.bulk_load(items_of(keys))
+    assert index.height() <= 3
+
+
+def test_conflict_insert_creates_child_node():
+    index, _ = fresh()
+    keys = list(range(0, 100_000, 100))
+    index.bulk_load(items_of(keys))
+    conflicts_before = index.num_conflict_nodes
+    # Keys immediately adjacent to existing keys predict to occupied slots.
+    inserted = []
+    for key in range(1, 5001, 100):
+        index.insert(key, key + 1)
+        inserted.append(key)
+    assert index.num_conflict_nodes > conflicts_before
+    for key in inserted:
+        assert index.lookup(key) == key + 1
+    for key in keys[:60]:
+        assert index.lookup(key) == key + 1
+
+
+def test_insert_into_null_slot_no_conflict():
+    index, _ = fresh()
+    # Widely spaced keys: a key placed in the middle of a huge gap lands
+    # in a NULL slot.
+    keys = [i * 10**9 for i in range(1, 2000)]
+    index.bulk_load(items_of(keys))
+    before = index.num_conflict_nodes
+    index.insert(keys[1000] + 500_000_000, 7)
+    assert index.lookup(keys[1000] + 500_000_000) == 7
+    assert index.num_conflict_nodes == before
+
+
+def test_path_statistics_updated_on_insert():
+    index, _ = fresh()
+    keys = random_sorted_keys(5000, seed=2)
+    index.bulk_load(items_of(keys))
+    root_before = index._read_header(index.root_block)
+    key = keys[100] + 1
+    assert key not in set(keys)
+    index.insert(key, key + 1)
+    root_after = index._read_header(index.root_block)
+    assert root_after.num_inserts == root_before.num_inserts + 1
+    assert root_after.item_count == root_before.item_count + 1
+
+
+def test_every_insert_writes_all_path_headers():
+    device = BlockDevice(4096)
+    pager = Pager(device)
+    index = LippIndex(pager)
+    keys = random_sorted_keys(5000, seed=3)
+    index.bulk_load(items_of(keys))
+    writes_before = device.stats.writes_by_phase.get("maintenance", 0)
+    key = keys[42] + 1
+    index.insert(key, key + 1)
+    maintenance_writes = device.stats.writes_by_phase.get("maintenance", 0) - writes_before
+    assert maintenance_writes >= 1  # at least the root header
+
+
+def test_subtree_rebuild_triggers():
+    index, _ = fresh(rebuild_factor=0.5)
+    keys = list(range(0, 40_000, 40))
+    index.bulk_load(items_of(keys))
+    present = set(keys)
+    rng = random.Random(4)
+    while len(present) < 3000:
+        key = rng.randrange(40_000)
+        if key in present:
+            continue
+        present.add(key)
+        index.insert(key, key + 1)
+    assert index.num_rebuilds >= 1
+    for key in rng.sample(sorted(present), 400):
+        assert index.lookup(key) == key + 1
+
+
+def test_rebuild_reduces_conflict_chains():
+    index, _ = fresh(rebuild_factor=0.25)
+    keys = list(range(0, 10_000, 10))
+    index.bulk_load(items_of(keys))
+    present = set(keys)
+    rng = random.Random(5)
+    while len(present) < 2000:
+        key = rng.randrange(10_000)
+        if key in present:
+            continue
+        present.add(key)
+        index.insert(key, key + 1)
+    # After rebuilds the tree must stay shallow relative to insert volume.
+    assert index.height() <= 6
+
+
+def test_node_slot_overallocation():
+    """The 5x slot allocation for small nodes (paper O11)."""
+    index, device = fresh()
+    keys = random_sorted_keys(10_000, seed=6)
+    index.bulk_load(items_of(keys))
+    header = index._read_header(index.root_block)
+    assert header.num_slots == 5 * len(keys)
+
+
+def test_slot_flags_are_consistent():
+    index, _ = fresh()
+    keys = random_sorted_keys(3000, seed=7)
+    index.bulk_load(items_of(keys))
+    header = index._read_header(index.root_block)
+    seen = 0
+    for slot in range(header.num_slots):
+        flag, slot_key, payload = index._read_slot(index.root_block, slot)
+        assert flag in (SLOT_NULL, SLOT_DATA, SLOT_NODE)
+        if flag == SLOT_DATA:
+            seen += 1
+            assert payload == slot_key + 1
+        elif flag == SLOT_NODE:
+            child_header = index._read_header(slot_key)
+            seen += child_header.item_count
+    assert seen == len(keys)
+
+
+def test_lookup_cost_is_two_blocks_per_level():
+    """Table 2: LIPP lookup = 2 log N — header + slot per level."""
+    device = BlockDevice(4096)
+    pager = Pager(device)
+    index = LippIndex(pager)
+    keys = random_sorted_keys(30_000, seed=8)
+    index.bulk_load(items_of(keys))
+    costs = []
+    for key in random.Random(9).sample(keys, 50):
+        pager.drop_last_block()
+        before = device.stats.reads
+        index.lookup(key)
+        costs.append(device.stats.reads - before)
+    assert min(costs) >= 2
+    assert sum(costs) / len(costs) <= 2 * index.height()
+
+
+def test_scan_traverses_children_in_order():
+    index, _ = fresh()
+    keys = sorted(random.Random(10).sample(range(10**7), 5000))
+    index.bulk_load(items_of(keys))
+    present = sorted(set(keys))
+    # Force conflict children, then scan across them.
+    extra = [k + 1 for k in keys[:300] if k + 1 not in set(keys)]
+    for key in extra:
+        index.insert(key, key + 1)
+    present = sorted(set(present) | set(extra))
+    assert index.scan(present[0], 500) == [(k, k + 1) for k in present[:500]]
+
+
+def test_insert_requires_bulk_load():
+    index, _ = fresh()
+    with pytest.raises(RuntimeError):
+        index.insert(1, 2)

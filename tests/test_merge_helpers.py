@@ -1,0 +1,34 @@
+"""Property tests for the internal merge helpers of PGM and FITing-tree."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fiting import _merge_sorted
+from repro.core.pgm import _merge_runs
+
+sorted_run = st.lists(
+    st.tuples(st.integers(0, 200), st.integers(0, 10**6)), max_size=40
+).map(lambda items: sorted({k: v for k, v in items}.items()))
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(sorted_run, min_size=1, max_size=5))
+def test_merge_runs_newest_wins(runs):
+    merged = _merge_runs([list(run) for run in runs])
+    keys = [k for k, _ in merged]
+    assert keys == sorted(set(keys))
+    expected = {}
+    for run in reversed(runs):       # earlier runs shadow later ones
+        expected.update(dict(run))
+    assert dict(merged) == expected
+
+
+@settings(max_examples=200, deadline=None)
+@given(sorted_run, sorted_run)
+def test_fiting_merge_buffer_shadows_data(data_run, buffer_run):
+    merged = _merge_sorted(list(data_run), list(buffer_run))
+    keys = [k for k, _ in merged]
+    assert keys == sorted(set(keys))
+    expected = dict(data_run)
+    expected.update(dict(buffer_run))  # the delta buffer wins ties
+    assert dict(merged) == expected

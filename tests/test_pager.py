@@ -1,0 +1,146 @@
+"""Unit tests for the byte-addressed pager and its cache hierarchy."""
+
+import pytest
+
+from repro.storage import HDD, BlockDevice, BufferPool, Pager
+
+
+def _prepared(pager, nblocks=4, name="f"):
+    f = pager.device.create_file(name)
+    f.allocate(nblocks)
+    return f
+
+
+def test_read_bytes_within_one_block(pager):
+    f = _prepared(pager)
+    block = bytearray(4096)
+    block[100:105] = b"hello"
+    pager.write_block(f, 0, bytes(block))
+    reads_before = pager.stats.reads
+    pager.drop_last_block()
+    assert pager.read_bytes(f, 100, 5) == b"hello"
+    assert pager.stats.reads - reads_before == 1
+
+
+def test_read_bytes_spanning_blocks(pager):
+    f = _prepared(pager)
+    pager.write_bytes(f, 4090, b"0123456789AB")  # crosses block 0 -> 1
+    pager.drop_last_block()
+    assert pager.read_bytes(f, 4090, 12) == b"0123456789AB"
+
+
+def test_read_bytes_counts_covering_blocks(pager):
+    f = _prepared(pager)
+    pager.write_bytes(f, 0, bytes(3 * 4096))
+    pager.drop_last_block()
+    before = pager.stats.reads
+    pager.read_bytes(f, 100, 2 * 4096)  # spans 3 blocks
+    assert pager.stats.reads - before == 3
+
+
+def test_zero_length_read(pager):
+    f = _prepared(pager)
+    assert pager.read_bytes(f, 0, 0) == b""
+
+
+def test_negative_range_rejected(pager):
+    f = _prepared(pager)
+    with pytest.raises(ValueError):
+        pager.read_bytes(f, -1, 4)
+    with pytest.raises(ValueError):
+        pager.read_bytes(f, 0, -4)
+    with pytest.raises(ValueError):
+        pager.write_bytes(f, -1, b"x")
+
+
+def test_partial_block_write_is_read_modify_write(pager):
+    f = _prepared(pager)
+    pager.write_block(f, 0, b"\xAA" * 4096)
+    pager.drop_last_block()
+    pager.write_bytes(f, 10, b"\x00\x00")
+    data = pager.read_block(f, 0)
+    assert data[9] == 0xAA
+    assert data[10:12] == b"\x00\x00"
+    assert data[12] == 0xAA
+
+
+def test_full_block_write_skips_read(pager):
+    f = _prepared(pager)
+    before = pager.stats.reads
+    pager.write_bytes(f, 4096, bytes(4096))  # exactly block 1
+    assert pager.stats.reads == before
+
+
+def test_last_block_reuse(pager):
+    f = _prepared(pager)
+    pager.write_block(f, 0, bytes(4096))
+    before = pager.stats.reads
+    pager.read_bytes(f, 0, 8)
+    pager.read_bytes(f, 100, 8)   # same block: served from the one-block cache
+    assert pager.stats.reads == before  # write primed the cache
+
+
+def test_drop_last_block_forces_refetch(pager):
+    f = _prepared(pager)
+    pager.write_block(f, 0, bytes(4096))
+    pager.drop_last_block()
+    before = pager.stats.reads
+    pager.read_bytes(f, 0, 8)
+    assert pager.stats.reads == before + 1
+
+
+def test_reuse_disabled(device):
+    pager = Pager(device, reuse_last_block=False)
+    f = device.create_file("f")
+    f.allocate(1)
+    pager.write_block(f, 0, bytes(4096))
+    before = pager.stats.reads
+    pager.read_bytes(f, 0, 8)
+    pager.read_bytes(f, 0, 8)
+    assert pager.stats.reads == before + 2
+
+
+def test_buffer_pool_serves_repeat_reads():
+    device = BlockDevice(4096, HDD)
+    pager = Pager(device, buffer_pool=BufferPool(8), reuse_last_block=False)
+    f = device.create_file("f")
+    f.allocate(2)
+    pager.write_block(f, 0, bytes(4096))
+    pager.write_block(f, 1, bytes(4096))
+    before = device.stats.reads
+    pager.read_block(f, 0)
+    pager.read_block(f, 1)
+    pager.read_block(f, 0)
+    assert device.stats.reads == before  # writes were write-through cached
+
+
+def test_buffer_pool_invalidation_via_pager():
+    device = BlockDevice(4096, HDD)
+    pool = BufferPool(8)
+    pager = Pager(device, buffer_pool=pool)
+    f = device.create_file("f")
+    f.allocate(1)
+    pager.write_block(f, 0, bytes(4096))
+    pager.invalidate_file("f")
+    assert pool.get("f", 0) is None
+
+
+def test_phase_context_manager(pager):
+    f = _prepared(pager)
+    with pager.phase("search"):
+        pager.read_block(f, 0)
+        with pager.phase("smo"):
+            pager.read_block(f, 1)
+        pager.read_block(f, 2)
+    assert pager.stats.reads_by_phase["search"] == 2
+    assert pager.stats.reads_by_phase["smo"] == 1
+    assert pager.device.phase == "default"
+
+
+def test_memory_resident_file_bypasses_caches(pager):
+    f = _prepared(pager)
+    f.memory_resident = True
+    pager.write_block(f, 0, b"\x01" * 4096)
+    assert pager.read_block(f, 0) == b"\x01" * 4096
+    assert pager.stats.reads == 0
+    assert pager.stats.writes == 0

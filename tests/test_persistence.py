@@ -1,0 +1,157 @@
+"""Tests for device images and whole-index persistence."""
+
+import io
+import random
+
+import pytest
+
+from repro.core import index_names, load_index, make_index, save_index
+from repro.storage import (
+    HDD,
+    NULL_DEVICE,
+    SSD,
+    BlockDevice,
+    Pager,
+    load_device,
+    save_device,
+)
+
+from tests.util import items_of, random_sorted_keys
+
+
+def test_device_image_roundtrip(tmp_path):
+    device = BlockDevice(4096, HDD)
+    f = device.create_file("a")
+    f.allocate(3)
+    device.write_block(f, 1, b"\xAB" * 4096)
+    f.free(2, 1)
+    f.memory_resident = True
+    path = str(tmp_path / "img.bin")
+    save_device(device, path)
+
+    loaded = load_device(path)
+    assert loaded.block_size == 4096
+    assert loaded.profile is HDD
+    g = loaded.get_file("a")
+    assert g.num_blocks == 3
+    assert g.live_blocks == 2
+    assert g.memory_resident
+    assert loaded.read_block(g, 1) == b"\xAB" * 4096
+    # Counters start fresh after a "reboot".
+    assert loaded.stats.elapsed_us == 0.0
+
+
+def test_device_image_profile_override():
+    device = BlockDevice(4096, HDD)
+    device.create_file("a").allocate(1)
+    buffer = io.BytesIO()
+    save_device(device, buffer)
+    buffer.seek(0)
+    loaded = load_device(buffer, profile=SSD)
+    assert loaded.profile is SSD
+
+
+def test_device_image_bad_magic():
+    with pytest.raises(ValueError):
+        load_device(io.BytesIO(b"NOTANIMG" + b"\x00" * 64))
+
+
+def test_custom_profile_requires_override():
+    from repro.storage import DiskProfile
+    custom = DiskProfile("weird", 1, 1, 1, 1, 0)
+    device = BlockDevice(4096, custom)
+    buffer = io.BytesIO()
+    save_device(device, buffer)
+    buffer.seek(0)
+    with pytest.raises(ValueError):
+        load_device(buffer)
+    buffer.seek(0)
+    assert load_device(buffer, profile=custom).profile is custom
+
+
+KEYS = random_sorted_keys(8000, seed=42)
+
+
+@pytest.mark.parametrize("name", index_names(include_hybrids=True, include_plid=True))
+def test_index_save_reopen_lookups(name):
+    index = make_index(name, Pager(BlockDevice(4096, NULL_DEVICE)))
+    index.bulk_load(items_of(KEYS))
+    buffer = io.BytesIO()
+    save_index(index, buffer)
+    buffer.seek(0)
+    reopened = load_index(buffer)
+    assert reopened.name == name
+    for key in random.Random(1).sample(KEYS, 150):
+        assert reopened.lookup(key) == key + 1
+    assert reopened.scan(KEYS[10], 5) == items_of(KEYS)[10:15]
+
+
+@pytest.mark.parametrize("name", index_names(include_plid=True))
+def test_index_reopen_preserves_updates_and_continues(name):
+    index = make_index(name, Pager(BlockDevice(4096, NULL_DEVICE)))
+    index.bulk_load(items_of(KEYS))
+    rng = random.Random(2)
+    present = set(KEYS)
+    for _ in range(500):
+        key = rng.randrange(10**12)
+        if key in present:
+            continue
+        present.add(key)
+        index.insert(key, key + 1)
+    assert index.delete(KEYS[3])
+    present.discard(KEYS[3])
+    assert index.update(KEYS[4], 777)
+
+    buffer = io.BytesIO()
+    save_index(index, buffer)
+    buffer.seek(0)
+    reopened = load_index(buffer)
+
+    assert reopened.lookup(KEYS[3]) is None
+    assert reopened.lookup(KEYS[4]) == 777
+    for key in rng.sample(sorted(present), 200):
+        expected = 777 if key == KEYS[4] else key + 1
+        assert reopened.lookup(key) == expected
+    # The reopened index keeps working: inserts + SMOs still function.
+    added = 0
+    while added < 400:
+        key = rng.randrange(10**12)
+        if key in present:
+            continue
+        present.add(key)
+        reopened.insert(key, key + 1)
+        added += 1
+    for key in rng.sample(sorted(present), 100):
+        expected = 777 if key == KEYS[4] else key + 1
+        assert reopened.lookup(key) == expected
+
+
+def test_index_file_persistence_on_disk(tmp_path):
+    index = make_index("pgm", Pager(BlockDevice(4096, HDD)))
+    index.bulk_load(items_of(KEYS))
+    path = str(tmp_path / "pgm.idx")
+    save_index(index, path)
+    reopened = load_index(path, profile=SSD)
+    assert reopened.pager.device.profile is SSD
+    assert reopened.lookup(KEYS[0]) == KEYS[0] + 1
+
+
+def test_pgm_components_survive_reopen():
+    index = make_index("pgm", Pager(BlockDevice(4096, NULL_DEVICE)),
+                       buffer_capacity=32)
+    index.bulk_load(items_of(KEYS))
+    rng = random.Random(3)
+    present = set(KEYS)
+    for _ in range(300):
+        key = rng.randrange(10**12)
+        if key in present:
+            continue
+        present.add(key)
+        index.insert(key, key + 1)
+    assert index.num_components >= 1
+    buffer = io.BytesIO()
+    save_index(index, buffer)
+    buffer.seek(0)
+    reopened = load_index(buffer)
+    assert reopened.num_components == index.num_components
+    assert reopened.buffer_count == index.buffer_count

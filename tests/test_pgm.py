@@ -1,0 +1,179 @@
+"""PGM-specific tests: static components, LSM merging, file deletion."""
+
+import random
+
+import pytest
+
+from repro.core.pgm import PgmIndex, StaticPgm
+from repro.storage import NULL_DEVICE, BlockDevice, Pager
+
+from tests.util import items_of, random_sorted_keys
+
+
+def fresh(**kwargs):
+    device = BlockDevice(4096, NULL_DEVICE)
+    return PgmIndex(Pager(device), **kwargs), device
+
+
+# -- static component -------------------------------------------------------
+
+def test_static_component_lookup():
+    device = BlockDevice(4096, NULL_DEVICE)
+    keys = random_sorted_keys(20_000, seed=1)
+    component = StaticPgm(Pager(device), "c", items_of(keys))
+    for key in random.Random(2).sample(keys, 300):
+        assert component.lookup(key) == key + 1
+    assert component.lookup(keys[0] + 1) is None
+
+
+def test_static_component_rejects_empty():
+    device = BlockDevice(4096, NULL_DEVICE)
+    with pytest.raises(ValueError):
+        StaticPgm(Pager(device), "c", [])
+
+
+def test_static_component_range_shortcut():
+    device = BlockDevice(4096)
+    pager = Pager(device)
+    keys = random_sorted_keys(10_000, seed=3)
+    component = StaticPgm(pager, "c", items_of(keys))
+    before = device.stats.reads
+    assert component.lookup(keys[0] - 1) is None
+    assert component.lookup(keys[-1] + 1) is None
+    assert device.stats.reads == before  # min/max meta avoids any I/O
+
+
+def test_static_ceiling_position():
+    device = BlockDevice(4096, NULL_DEVICE)
+    keys = list(range(0, 1000, 10))
+    component = StaticPgm(Pager(device), "c", items_of(keys))
+    assert component.ceiling_position(0) == 0
+    assert component.ceiling_position(5) == 1
+    assert component.ceiling_position(990) == 99
+    assert component.ceiling_position(991) == 100  # past the end
+
+
+def test_static_iterate_from():
+    device = BlockDevice(4096, NULL_DEVICE)
+    keys = random_sorted_keys(5000, seed=4)
+    component = StaticPgm(Pager(device), "c", items_of(keys))
+    run = list(component.iterate_from(1000))[:200]
+    assert run == items_of(keys)[1000:1200]
+
+
+def test_static_destroy_deletes_files():
+    device = BlockDevice(4096, NULL_DEVICE)
+    pager = Pager(device)
+    component = StaticPgm(pager, "c", items_of(random_sorted_keys(5000, seed=5)))
+    assert "c.data" in device.files
+    component.destroy()
+    assert "c.data" not in device.files
+    assert "c.levels" not in device.files
+
+
+def test_static_multi_level_structure():
+    device = BlockDevice(4096, NULL_DEVICE)
+    rng = random.Random(6)
+    keys = sorted(rng.sample(range(10**14), 80_000))
+    component = StaticPgm(Pager(device), "c", items_of(keys), epsilon=8)
+    assert component.num_levels >= 3  # data + at least one descriptor level + root
+
+
+# -- dynamic LSM index ---------------------------------------------------------
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        fresh(buffer_capacity=0)
+    with pytest.raises(ValueError):
+        fresh(level_ratio=1)
+
+
+def test_inserts_fill_buffer_then_merge():
+    index, _ = fresh(buffer_capacity=32)
+    index.bulk_load(items_of(list(range(0, 10_000, 10))))
+    for key in range(1, 321, 10):
+        index.insert(key, key + 1)
+    assert index.num_merges >= 1
+    assert index.buffer_count < 32
+    for key in range(1, 321, 10):
+        assert index.lookup(key) == key + 1
+
+
+def test_merge_deletes_component_files():
+    index, device = fresh(buffer_capacity=16)
+    index.bulk_load(items_of(list(range(0, 1000, 10))))
+    files_before = set(device.files)
+    for key in range(1, 1000, 6):
+        index.insert(key, key + 1)
+    # Merged component files are gone; storage was reclaimed.
+    assert device.stats.freed_blocks > 0
+    assert index.num_merges >= 2
+
+
+def test_component_sizes_respect_level_capacities():
+    index, _ = fresh(buffer_capacity=16, level_ratio=2)
+    index.bulk_load(items_of(list(range(0, 5000, 10))))
+    rng = random.Random(7)
+    present = set(range(0, 5000, 10))
+    for _ in range(700):
+        key = rng.randrange(100_000)
+        if key in present:
+            continue
+        present.add(key)
+        index.insert(key, key + 1)
+    for level, component in enumerate(index.components):
+        if component is not None:
+            assert component.count <= index._level_capacity(level)
+
+
+def test_lookup_searches_newest_component_first():
+    index, _ = fresh(buffer_capacity=4)
+    index.bulk_load(items_of([10, 20, 30, 40, 50]))
+    # Shadow key 30 through the buffer; after this the newest value must win
+    # even once merges move it into components.
+    index.insert(31, 0)
+    index.insert(29, 0)
+    index.insert(30, 999)
+    for _ in range(20):
+        key = 1000 + _
+        index.insert(key, key + 1)
+    assert index.lookup(30) == 999
+
+
+def test_scan_merges_buffer_and_components():
+    index, _ = fresh(buffer_capacity=64)
+    base = list(range(0, 1000, 10))
+    index.bulk_load(items_of(base))
+    extra = list(range(5, 300, 10))
+    for key in extra:
+        index.insert(key, key + 1)
+    merged = sorted(base + extra)
+    assert index.scan(0, 40) == [(k, k + 1) for k in merged[:40]]
+
+
+def test_bulk_load_places_component_at_right_level():
+    index, _ = fresh(buffer_capacity=16, level_ratio=2)
+    index.bulk_load(items_of(list(range(1000))))
+    level = next(i for i, c in enumerate(index.components) if c is not None)
+    assert index._level_capacity(level) >= 1000
+    assert level == 0 or index._level_capacity(level - 1) < 1000
+
+
+def test_empty_bulk_load_allows_inserts():
+    index, _ = fresh(buffer_capacity=8)
+    index.bulk_load([])
+    for key in range(30):
+        index.insert(key * 7, key * 7 + 1)
+    for key in range(30):
+        assert index.lookup(key * 7) == key * 7 + 1
+
+
+def test_levels_memory_residency_applies_to_future_components():
+    index, device = fresh(buffer_capacity=8)
+    index.bulk_load(items_of(list(range(0, 500, 5))))
+    index.set_inner_memory_resident(True)
+    for key in range(1, 200, 5):
+        index.insert(key, key + 1)
+    for component in index.components:
+        if component is not None:
+            assert component.levels_file.memory_resident

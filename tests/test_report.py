@@ -1,0 +1,31 @@
+"""Tests for the table/chart renderers."""
+
+from repro.bench import ExperimentResult, format_chart, format_result, format_table
+
+
+def test_format_table_missing_cells():
+    text = format_table([{"a": 1}, {"b": 2}], ["a", "b"])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert "a" in lines[0] and "b" in lines[0]
+
+
+def test_format_chart_bars_scale_to_peak():
+    rows = [{"name": "x", "v": 10}, {"name": "y", "v": 5}, {"name": "z", "v": 0}]
+    text = format_chart(rows, ["name"], "v", width=10)
+    lines = text.splitlines()
+    assert "peak 10" in lines[0]
+    assert lines[1].count("#") == 10
+    assert lines[2].count("#") == 5
+    assert lines[3].count("#") == 0
+
+
+def test_format_chart_empty():
+    assert format_chart([], ["name"], "v") == "(no rows)"
+
+
+def test_format_result_includes_notes():
+    result = ExperimentResult("x", "Title X", rows=[{"a": 1}], notes="careful")
+    text = format_result(result)
+    assert "Title X" in text
+    assert "careful" in text

@@ -1,0 +1,59 @@
+"""Unit tests for the binary layout helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.serial import (
+    ENTRY_SIZE,
+    NULL_BLOCK,
+    entries_per_block,
+    pack_entries,
+    pack_u64s,
+    unpack_entries,
+    unpack_u64s,
+)
+
+
+def test_entry_size_matches_paper_arithmetic():
+    # 4 KiB block / 16-byte entries = 256 entries: the paper's B.
+    assert ENTRY_SIZE == 16
+    assert entries_per_block(4096) == 256
+    assert entries_per_block(16384) == 1024
+
+
+def test_pack_unpack_roundtrip():
+    items = [(1, 2), (2**64 - 1, 0), (12345, 54321)]
+    raw = pack_entries(items)
+    assert len(raw) == len(items) * ENTRY_SIZE
+    assert unpack_entries(raw, len(items)) == items
+
+
+def test_unpack_with_offset():
+    raw = b"\x00" * 8 + pack_entries([(7, 8)])
+    assert unpack_entries(raw, 1, offset=8) == [(7, 8)]
+
+
+def test_pack_empty():
+    assert pack_entries([]) == b""
+    assert unpack_entries(b"", 0) == []
+
+
+def test_u64_roundtrip():
+    values = [0, 1, NULL_BLOCK, 2**64 - 1]
+    raw = pack_u64s(values)
+    assert list(unpack_u64s(raw, len(values))) == values
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 2**64 - 1), st.integers(0, 2**64 - 1)),
+                max_size=64))
+def test_roundtrip_property(items):
+    assert unpack_entries(pack_entries(items), len(items)) == items
+
+
+def test_pack_rejects_out_of_range():
+    with pytest.raises(Exception):
+        pack_entries([(-1, 0)])
+    with pytest.raises(Exception):
+        pack_entries([(2**64, 0)])

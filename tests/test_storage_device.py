@@ -1,0 +1,159 @@
+"""Unit tests for the simulated block device."""
+
+import pytest
+
+from repro.storage import HDD, NULL_DEVICE, SSD, BlockDevice, DiskProfile
+
+
+def test_block_size_must_be_positive():
+    with pytest.raises(ValueError):
+        BlockDevice(block_size=0)
+
+
+def test_create_file_rejects_duplicates(device):
+    device.create_file("a")
+    with pytest.raises(ValueError):
+        device.create_file("a")
+
+
+def test_allocate_returns_contiguous_extents(device):
+    f = device.create_file("f")
+    assert f.allocate(3) == 0
+    assert f.allocate(2) == 3
+    assert f.num_blocks == 5
+    assert f.live_blocks == 5
+
+
+def test_allocate_rejects_nonpositive_count(device):
+    f = device.create_file("f")
+    with pytest.raises(ValueError):
+        f.allocate(0)
+
+
+def test_write_read_roundtrip(device):
+    f = device.create_file("f")
+    f.allocate(2)
+    payload = bytes(range(256)) * 16  # exactly 4096 bytes
+    device.write_block(f, 1, payload)
+    assert device.read_block(f, 1) == payload
+
+
+def test_write_rejects_wrong_length(device):
+    f = device.create_file("f")
+    f.allocate(1)
+    with pytest.raises(ValueError):
+        device.write_block(f, 0, b"short")
+
+
+def test_out_of_range_access_raises(device):
+    f = device.create_file("f")
+    f.allocate(1)
+    with pytest.raises(IndexError):
+        device.read_block(f, 1)
+    with pytest.raises(IndexError):
+        device.read_block(f, -1)
+
+
+def test_read_write_counters(device):
+    f = device.create_file("f")
+    f.allocate(2)
+    blank = bytes(device.block_size)
+    device.write_block(f, 0, blank)
+    device.read_block(f, 0)
+    device.read_block(f, 1)
+    assert device.stats.writes == 1
+    assert device.stats.reads == 2
+    assert f.reads == 2
+    assert f.writes == 1
+
+
+def test_memory_resident_files_are_free(device):
+    f = device.create_file("f")
+    f.allocate(1)
+    f.memory_resident = True
+    device.write_block(f, 0, bytes(device.block_size))
+    device.read_block(f, 0)
+    assert device.stats.reads == 0
+    assert device.stats.writes == 0
+    assert device.stats.elapsed_us == 0.0
+
+
+def test_sequential_access_is_cheaper_on_hdd(device):
+    f = device.create_file("f")
+    f.allocate(3)
+    device.read_block(f, 0)
+    random_cost = device.stats.elapsed_us
+    device.read_block(f, 1)  # sequential after block 0
+    sequential_cost = device.stats.elapsed_us - random_cost
+    assert sequential_cost < random_cost
+
+
+def test_free_tracks_but_does_not_reclaim(device):
+    f = device.create_file("f")
+    f.allocate(4)
+    f.free(1, 2)
+    assert f.num_blocks == 4          # space is not reclaimed (paper 6.3)
+    assert f.live_blocks == 2
+    assert device.stats.freed_blocks == 2
+    # Freed blocks remain readable (the index must never do so, but the
+    # device does not enforce it).
+    device.read_block(f, 1)
+
+
+def test_delete_file_reclaims_space(device):
+    f = device.create_file("f")
+    f.allocate(5)
+    assert device.allocated_bytes == 5 * 4096
+    device.delete_file("f")
+    assert "f" not in device.files
+    assert device.allocated_bytes == 0
+    assert device.stats.freed_blocks == 5
+
+
+def test_phase_attribution(device):
+    f = device.create_file("f")
+    f.allocate(1)
+    device.set_phase("smo")
+    device.read_block(f, 0)
+    device.write_block(f, 0, bytes(device.block_size))
+    assert device.stats.reads_by_phase["smo"] == 1
+    assert device.stats.writes_by_phase["smo"] == 1
+    assert device.stats.time_by_phase["smo"] > 0
+
+
+def test_stats_snapshot_and_diff(device):
+    f = device.create_file("f")
+    f.allocate(1)
+    device.read_block(f, 0)
+    snap = device.stats.snapshot()
+    device.read_block(f, 0)
+    device.read_block(f, 0)
+    delta = device.stats.diff(snap)
+    assert delta.reads == 2
+    assert snap.reads == 1  # snapshot unaffected
+
+
+def test_ssd_profile_cheaper_than_hdd():
+    hdd = BlockDevice(4096, HDD)
+    ssd = BlockDevice(4096, SSD)
+    for dev in (hdd, ssd):
+        f = dev.create_file("f")
+        f.allocate(1)
+        dev.read_block(f, 0)
+    assert ssd.stats.elapsed_us < hdd.stats.elapsed_us
+
+
+def test_null_profile_is_free():
+    dev = BlockDevice(4096, NULL_DEVICE)
+    f = dev.create_file("f")
+    f.allocate(1)
+    dev.read_block(f, 0)
+    assert dev.stats.elapsed_us == 0.0
+    assert dev.stats.reads == 1  # still counted
+
+
+def test_transfer_cost_scales_with_block_size():
+    profile = DiskProfile("t", 100.0, 100.0, 100.0, 100.0, transfer_us_per_kib=10.0)
+    small = profile.read_cost_us(4096, sequential=False)
+    large = profile.read_cost_us(16384, sequential=False)
+    assert large == small + 10.0 * 12  # 12 extra KiB

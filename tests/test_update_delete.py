@@ -1,0 +1,171 @@
+"""Update/delete contract across all five indexes.
+
+Learned indexes cannot physically remove entries without invalidating
+their trained models, so deletes are logical (tombstones) everywhere
+except the B+-tree (dense in-block shift) and LIPP (exact slots revert
+to NULL).  The observable semantics must nevertheless be identical.
+"""
+
+import bisect
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import index_names, make_index
+from repro.core.interface import TOMBSTONE
+from repro.storage import NULL_DEVICE, BlockDevice, Pager
+
+ALL_INDEXES = index_names(include_plid=True)
+KEYS = sorted(random.Random(77).sample(range(10**12), 3000))
+
+
+def loaded(name):
+    index = make_index(name, Pager(BlockDevice(4096, NULL_DEVICE)))
+    index.bulk_load([(k, k + 1) for k in KEYS])
+    return index
+
+
+@pytest.mark.parametrize("name", ALL_INDEXES)
+def test_update_existing_key(name):
+    index = loaded(name)
+    assert index.update(KEYS[100], 9999)
+    assert index.lookup(KEYS[100]) == 9999
+    assert index.lookup(KEYS[99]) == KEYS[99] + 1  # neighbours untouched
+
+
+@pytest.mark.parametrize("name", ALL_INDEXES)
+def test_update_missing_key_returns_false(name):
+    index = loaded(name)
+    missing = KEYS[100] + 1
+    assert missing not in set(KEYS)
+    assert not index.update(missing, 1)
+    assert index.lookup(missing) is None
+
+
+@pytest.mark.parametrize("name", ALL_INDEXES)
+def test_update_buffered_insert(name):
+    index = loaded(name)
+    fresh = KEYS[50] + 1
+    assert fresh not in set(KEYS)
+    index.insert(fresh, 1)
+    assert index.update(fresh, 2)
+    assert index.lookup(fresh) == 2
+
+
+@pytest.mark.parametrize("name", ALL_INDEXES)
+def test_delete_then_lookup_none(name):
+    index = loaded(name)
+    assert index.delete(KEYS[500])
+    assert index.lookup(KEYS[500]) is None
+    assert index.lookup(KEYS[499]) == KEYS[499] + 1
+    assert index.lookup(KEYS[501]) == KEYS[501] + 1
+
+
+@pytest.mark.parametrize("name", ALL_INDEXES)
+def test_delete_missing_returns_false(name):
+    index = loaded(name)
+    missing = KEYS[500] + 1
+    assert missing not in set(KEYS)
+    assert not index.delete(missing)
+
+
+@pytest.mark.parametrize("name", ALL_INDEXES)
+def test_double_delete_returns_false(name):
+    index = loaded(name)
+    assert index.delete(KEYS[500])
+    assert not index.delete(KEYS[500])
+
+
+@pytest.mark.parametrize("name", ALL_INDEXES)
+def test_scan_skips_deleted_keys(name):
+    index = loaded(name)
+    for offset in (200, 201, 202, 250):
+        assert index.delete(KEYS[offset])
+    result = index.scan(KEYS[198], 10)
+    expected_keys = [k for i, k in enumerate(KEYS[198:215])
+                     if i + 198 not in (200, 201, 202, 250)][:10]
+    assert [k for k, _ in result] == expected_keys
+    assert all(v != TOMBSTONE for _, v in result)
+
+
+@pytest.mark.parametrize("name", ALL_INDEXES)
+def test_reinsert_after_delete(name):
+    index = loaded(name)
+    key = KEYS[321]
+    assert index.delete(key)
+    index.insert(key, 4242)
+    assert index.lookup(key) == 4242
+    assert (key, 4242) in index.scan(key, 1)
+
+
+@pytest.mark.parametrize("name", ALL_INDEXES)
+def test_delete_survives_structure_modifications(name):
+    """Deleted keys must stay deleted through SMOs (resegment, node
+    rebuild, LSM merges) triggered by later inserts."""
+    index = loaded(name)
+    deleted = KEYS[::10][:100]
+    for key in deleted:
+        assert index.delete(key)
+    present = set(KEYS) - set(deleted)
+    rng = random.Random(5)
+    added = 0
+    while added < 2500:  # enough inserts to trigger SMOs in every index
+        key = rng.randrange(10**12)
+        if key in present or key in set(deleted):
+            continue
+        present.add(key)
+        index.insert(key, key + 1)
+        added += 1
+    for key in deleted[:40]:
+        assert index.lookup(key) is None, key
+    for key in rng.sample(sorted(present), 200):
+        assert index.lookup(key) == key + 1
+
+
+@pytest.mark.parametrize("name", ALL_INDEXES)
+def test_delete_heavy_scan_consistency(name):
+    index = loaded(name)
+    rng = random.Random(6)
+    alive = sorted(KEYS)
+    for key in rng.sample(KEYS, 800):
+        assert index.delete(key)
+        alive.remove(key)
+    for start_pos in (0, len(alive) // 2, len(alive) - 50):
+        start = alive[start_pos]
+        assert index.scan(start, 40) == [
+            (k, k + 1) for k in alive[start_pos : start_pos + 40]]
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.data())
+@pytest.mark.parametrize("name", ALL_INDEXES)
+def test_mixed_crud_matches_reference(name, data):
+    base = data.draw(st.lists(st.integers(0, 10**8), min_size=20, max_size=100,
+                              unique=True).map(sorted))
+    index = make_index(name, Pager(BlockDevice(4096, NULL_DEVICE)))
+    index.bulk_load([(k, k + 1) for k in base])
+    model = {k: k + 1 for k in base}
+    ops = data.draw(st.lists(
+        st.tuples(st.sampled_from(["insert", "update", "delete", "lookup", "scan"]),
+                  st.integers(0, 10**8), st.integers(0, 10**6)),
+        max_size=50))
+    for kind, key, value in ops:
+        if kind == "insert" and key not in model:
+            model[key] = key + 1
+            index.insert(key, key + 1)
+        elif kind == "update":
+            expected = key in model
+            assert index.update(key, value) == expected
+            if expected:
+                model[key] = value
+        elif kind == "delete":
+            expected = key in model
+            assert index.delete(key) == expected
+            model.pop(key, None)
+        elif kind == "lookup":
+            assert index.lookup(key) == model.get(key)
+        elif kind == "scan":
+            expected = sorted((k, v) for k, v in model.items() if k >= key)[:5]
+            assert index.scan(key, 5) == expected

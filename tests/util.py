@@ -1,0 +1,21 @@
+"""Shared helpers for the test suite (fixtures live in conftest.py)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.storage import HDD, BlockDevice, BufferPool, Pager
+
+
+def make_pager(block_size: int = 4096, buffer_blocks: int = 0) -> Pager:
+    pool = BufferPool(buffer_blocks) if buffer_blocks else None
+    return Pager(BlockDevice(block_size=block_size, profile=HDD), buffer_pool=pool)
+
+
+def random_sorted_keys(n: int, seed: int = 0, key_space: int = 10**12) -> list:
+    rng = random.Random(seed)
+    return sorted(rng.sample(range(key_space), n))
+
+
+def items_of(keys) -> list:
+    return [(k, k + 1) for k in keys]
