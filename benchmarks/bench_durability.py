@@ -1,0 +1,25 @@
+"""Durability: group-commit batch sweep {1, 8, 64} x {HDD, SSD}.
+
+Beyond the paper: write throughput with a WAL attached, log blocks per
+operation, and full-log recovery time from a post-bulkload checkpoint.
+"""
+
+from conftest import run_and_emit
+
+
+def test_durability(benchmark):
+    result = run_and_emit(benchmark, "durability")
+    by_cell = {(r["device"], r["index"], r["batch"]): r for r in result.rows}
+    for device in ("hdd", "ssd"):
+        for index in ("btree", "alex"):
+            cells = [by_cell[(device, index, b)] for b in (1, 8, 64)]
+            # Group commit amortizes log writes: strictly fewer blocks
+            # per op as the batch grows, hence throughput never drops.
+            assert (cells[0]["log_blocks_per_op"] > cells[1]["log_blocks_per_op"]
+                    > cells[2]["log_blocks_per_op"])
+            assert cells[0]["ops_per_s"] <= cells[2]["ops_per_s"]
+            # Recovery replayed the whole log and paid simulated I/O.
+            assert all(c["recovery_ms"] > 0 and c["replayed"] > 0 for c in cells)
+    # Same block counts at lower latency: SSD recovers faster than HDD.
+    assert (by_cell[("ssd", "btree", 8)]["recovery_ms"]
+            < by_cell[("hdd", "btree", 8)]["recovery_ms"])

@@ -26,6 +26,8 @@ Packages:
 * :mod:`repro.datasets` — the eleven synthetic datasets + Table 3
   profiling.
 * :mod:`repro.workloads` — the six workload types and the metric runner.
+* :mod:`repro.durability` — write-ahead log with group commit,
+  crash-fault injection, checkpoint + WAL-replay recovery.
 * :mod:`repro.bench` — one experiment per paper table/figure
   (``python -m repro.bench all``).
 """
@@ -45,6 +47,12 @@ from .core import (
     save_index,
 )
 from .datasets import dataset_names, make_dataset, profile_dataset
+from .durability import (
+    FaultInjector,
+    WriteAheadLog,
+    recover,
+    take_checkpoint,
+)
 from .models import LinearModel, optimal_segments, shrinking_cone_segments
 from .storage import HDD, SSD, BlockDevice, BufferPool, DiskProfile, Pager
 from .workloads import WORKLOADS, build_workload, run_workload
@@ -58,6 +66,7 @@ __all__ = [
     "BufferPool",
     "DiskIndex",
     "DiskProfile",
+    "FaultInjector",
     "FitingTreeIndex",
     "HDD",
     "HybridIndex",
@@ -68,6 +77,7 @@ __all__ = [
     "PlidIndex",
     "SSD",
     "WORKLOADS",
+    "WriteAheadLog",
     "__version__",
     "build_workload",
     "dataset_names",
@@ -78,6 +88,8 @@ __all__ = [
     "save_index",
     "optimal_segments",
     "profile_dataset",
+    "recover",
     "run_workload",
     "shrinking_cone_segments",
+    "take_checkpoint",
 ]

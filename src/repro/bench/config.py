@@ -15,6 +15,7 @@ from typing import Optional
 
 from ..core import DiskIndex, make_index
 from ..datasets import make_dataset
+from ..durability import WriteAheadLog
 from ..storage import HDD, SSD, BlockDevice, BufferPool, DiskProfile, Pager
 from ..workloads import WORKLOADS, build_workload, bulk_load_timed
 
@@ -41,6 +42,7 @@ class Scale:
     scan_length: int = 100      # elements per scan (paper: 100)
     block_size: int = 4096
     seed: int = 42
+    group_commit: int = 8       # WAL ops per log flush (durability experiment)
 
     def scaled(self, factor: float) -> "Scale":
         return replace(
@@ -72,13 +74,22 @@ class IndexSetup:
     bulk_items: list
     ops: list
     bulkload_us: float
+    wal: Optional[WriteAheadLog] = None
 
 
 def fresh_index(index_name: str, dataset: str, workload: str, scale: Scale,
                 profile: DiskProfile = HDD, block_size: Optional[int] = None,
                 buffer_blocks: int = 0, index_params: Optional[dict] = None,
-                inner_memory_resident: bool = False) -> IndexSetup:
-    """Build a device + index + workload for one experiment cell."""
+                inner_memory_resident: bool = False, with_wal: bool = False,
+                wal_group_commit: Optional[int] = None) -> IndexSetup:
+    """Build a device + index + workload for one experiment cell.
+
+    ``with_wal`` attaches a write-ahead log (on the same device, as in a
+    single-disk DBMS) after the bulk load, group-committing every
+    ``scale.group_commit`` operations; ``wal_group_commit`` overrides
+    that batch size (and implies ``with_wal``).  The default is no
+    logging — the paper's setting.
+    """
     spec = WORKLOADS[workload]
     if spec.bulk_all:
         n_keys = scale.n_read
@@ -102,5 +113,11 @@ def fresh_index(index_name: str, dataset: str, workload: str, scale: Scale,
     bulkload_us = bulk_load_timed(index, bulk_items)
     if inner_memory_resident:
         index.set_inner_memory_resident(True)
+    wal = None
+    if with_wal or wal_group_commit is not None:
+        batch = wal_group_commit if wal_group_commit is not None else scale.group_commit
+        wal = WriteAheadLog(pager, group_commit=batch)
+        index.attach_wal(wal)
     return IndexSetup(index=index, device=device, pager=pager,
-                      bulk_items=bulk_items, ops=ops, bulkload_us=bulkload_us)
+                      bulk_items=bulk_items, ops=ops, bulkload_us=bulkload_us,
+                      wal=wal)

@@ -166,6 +166,16 @@ PAPER_EXPECTATIONS: Dict[str, Dict[str, str]] = {
         "paper": "The paper fixes LRU.",
         "shape": "CLOCK tracks LRU closely; FIFO slightly worse.",
     },
+    "durability": {
+        "artifact": "Extension (durability subsystem)",
+        "paper": "The paper evaluates clean runs only; disk-resident "
+                 "deployments need logging/recovery (cf. Abu-Libdeh et "
+                 "al.'s Google-scale disk-based learned index).",
+        "shape": "Log blocks per op fall as 1/batch (1.0 -> 0.125 -> "
+                 "0.016 for batches 1/8/64) and throughput rises "
+                 "monotonically; WAL-replay recovery pays real simulated "
+                 "I/O and is faster on SSD than HDD.",
+    },
 }
 
 _HEADER = """\

@@ -42,6 +42,9 @@ class DiskIndex(abc.ABC):
 
     def __init__(self, pager: Pager) -> None:
         self.pager = pager
+        #: optional :class:`repro.durability.WriteAheadLog`; when attached,
+        #: the ``durable_*`` mutation paths emit logical log records.
+        self.wal = None
 
     # -- required operations -------------------------------------------------
 
@@ -74,6 +77,35 @@ class DiskIndex(abc.ABC):
         (resegment / node rebuild / LSM merge).
         """
         raise NotImplementedError(f"{self.name} does not support deletes")
+
+    # -- durability ------------------------------------------------------------
+
+    def attach_wal(self, wal) -> None:
+        """Route this index's mutations through a write-ahead log.
+
+        After attaching, callers that need durability use the
+        ``durable_*`` methods; the plain mutation methods stay unlogged
+        (bulk loads and recovery replay go through those, since their
+        effects are captured by the checkpoint / are the redo itself).
+        """
+        self.wal = wal
+
+    def durable_insert(self, key: int, payload: int) -> None:
+        """Log-then-apply insert: the logical record enters the WAL buffer
+        before the index mutates, so a durable log implies a redoable op."""
+        if self.wal is not None:
+            self.wal.append("insert", key, payload)
+        self.insert(key, payload)
+
+    def durable_update(self, key: int, payload: int) -> bool:
+        if self.wal is not None:
+            self.wal.append("update", key, payload)
+        return self.update(key, payload)
+
+    def durable_delete(self, key: int) -> bool:
+        if self.wal is not None:
+            self.wal.append("delete", key)
+        return self.delete(key)
 
     # -- optional hooks --------------------------------------------------------
 

@@ -1,0 +1,33 @@
+"""Durability: write-ahead logging, group commit, crash faults, recovery.
+
+The paper's evaluation stops at clean shutdowns; this package adds the
+layer a disk-resident deployment cannot live without (cf. Abu-Libdeh et
+al., "Learned Indexes for a Google-scale Disk-based Database"):
+
+* :class:`WriteAheadLog` — block-structured logical log written through
+  the simulated device, charged under the ``"log"`` I/O phase, with
+  group commit batching N operations per flush;
+* :class:`FaultInjector` — kills a run at a chosen or random operation,
+  dropping the unflushed commit buffer and optionally tearing the last
+  log block (a flush caught mid-write);
+* :func:`take_checkpoint` / :func:`recover` — redo-from-checkpoint
+  recovery that replays the WAL's CRC-valid prefix against a saved index
+  image, never trusting the crashed device's index files.
+"""
+
+from .faults import CrashError, CrashReport, FaultInjector
+from .recovery import Checkpoint, RecoveryResult, recover, take_checkpoint
+from .wal import WAL_FILE, LogRecord, WriteAheadLog
+
+__all__ = [
+    "Checkpoint",
+    "CrashError",
+    "CrashReport",
+    "FaultInjector",
+    "LogRecord",
+    "RecoveryResult",
+    "WAL_FILE",
+    "WriteAheadLog",
+    "recover",
+    "take_checkpoint",
+]

@@ -23,7 +23,8 @@ from .profile import DiskProfile, HDD
 __all__ = ["BlockDevice", "BlockFile", "StorageStats", "PHASES"]
 
 #: Phases an index can attribute I/O to; ``default`` catches unattributed I/O.
-PHASES = ("default", "search", "insert", "smo", "maintenance", "scan", "bulkload")
+#: ``log`` is the write-ahead-log traffic of :mod:`repro.durability`.
+PHASES = ("default", "search", "insert", "smo", "maintenance", "scan", "bulkload", "log")
 
 
 @dataclass

@@ -8,7 +8,10 @@ collects every metric the paper reports:
 * average fetched blocks per operation, split into inner and leaf
   components via the index's ``file_roles()`` (Table 4 / Figure 4);
 * per-phase I/O time — search / insert / SMO / maintenance (Figure 6);
-* bulk-load time and on-disk storage usage (Figures 7 and 10).
+* bulk-load time and on-disk storage usage (Figures 7 and 10);
+* write-ahead-log traffic and group-commit accounting when the index has
+  a WAL attached, plus crash/recovery bookkeeping when a
+  :class:`~repro.durability.FaultInjector` kills the run mid-stream.
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.interface import DiskIndex
+from ..durability.faults import CrashError, FaultInjector
 from ..storage import Pager
 from .spec import Operation
 
@@ -49,12 +53,25 @@ class RunResult:
     allocated_bytes: int = 0
     live_bytes: int = 0
     latencies_us: Optional[np.ndarray] = None
+    # -- durability accounting (zero unless the index has a WAL attached) --
+    log_records: int = 0       # logical records appended during the run
+    log_flushes: int = 0       # group commits forced to the device
+    log_blocks_written: int = 0  # device blocks written under the "log" phase
+    crashed_at_op: Optional[int] = None  # op index a fault injector fired at
+    recovery_us: float = 0.0   # filled by callers that run recovery afterwards
 
     def phase_latency_us(self, phase: str) -> float:
         """Average simulated time per op spent in a phase (Figure 6)."""
         if self.num_ops == 0:
             return 0.0
         return self.time_by_phase_us.get(phase, 0.0) / self.num_ops
+
+    @property
+    def ops_per_log_flush(self) -> float:
+        """Average operations amortized over one group commit."""
+        if self.log_flushes == 0:
+            return 0.0
+        return self.log_records / self.log_flushes
 
 
 def bulk_load_timed(index: DiskIndex, items: Sequence[Tuple[int, int]]) -> float:
@@ -67,7 +84,8 @@ def bulk_load_timed(index: DiskIndex, items: Sequence[Tuple[int, int]]) -> float
 
 def run_workload(index: DiskIndex, ops: Sequence[Operation], workload: str = "",
                  scan_length: int = 100, keep_latencies: bool = False,
-                 validate: bool = False) -> RunResult:
+                 validate: bool = False,
+                 fault_injector: Optional[FaultInjector] = None) -> RunResult:
     """Execute ``ops`` against a loaded index and collect metrics.
 
     Args:
@@ -78,29 +96,57 @@ def run_workload(index: DiskIndex, ops: Sequence[Operation], workload: str = "",
         keep_latencies: retain the raw per-op latency array.
         validate: check each lookup returns the paper's key+1 payload
             (used by integration tests; benchmark runs skip it).
+        fault_injector: optional crash injector.  When it fires, the run
+            stops at that operation, the WAL's unflushed buffer is
+            dropped (and its tail block optionally torn), and the result
+            covers only the executed prefix with ``crashed_at_op`` set —
+            the caller then recovers via :func:`repro.durability.recover`.
+
+    Mutating operations go through the ``durable_*`` log-then-apply path
+    whenever the index has a WAL attached; on a clean finish the WAL's
+    tail batch is flushed so the run ends fully durable.
     """
     pager: Pager = index.pager
     device = pager.device
+    wal = index.wal
     start = device.stats.snapshot()
     file_reads_before = {name: f.reads for name, f in device.files.items()}
+    log_records_before = wal.records_appended if wal is not None else 0
+    log_flushes_before = wal.flushes if wal is not None else 0
     latencies = np.empty(len(ops), dtype=np.float64)
+    executed = len(ops)
+    crashed_at: Optional[int] = None
 
-    for i, (kind, key) in enumerate(ops):
-        before_us = device.stats.elapsed_us
-        if kind == "lookup":
-            result = index.lookup(key)
-            if validate and result != key + 1:
-                raise AssertionError(
-                    f"lookup({key}) returned {result}, expected {key + 1}")
-        elif kind == "insert":
-            index.insert(key, key + 1)
-        elif kind == "scan":
-            result = index.scan(key, scan_length)
-            if validate and (not result or result[0][0] != key):
-                raise AssertionError(f"scan({key}) did not start at the key")
-        else:
-            raise ValueError(f"unknown operation kind {kind!r}")
-        latencies[i] = device.stats.elapsed_us - before_us
+    try:
+        for i, (kind, key) in enumerate(ops):
+            if fault_injector is not None:
+                fault_injector.maybe_crash(i)
+            before_us = device.stats.elapsed_us
+            if kind == "lookup":
+                result = index.lookup(key)
+                if validate and result != key + 1:
+                    raise AssertionError(
+                        f"lookup({key}) returned {result}, expected {key + 1}")
+            elif kind == "insert":
+                if wal is not None:
+                    index.durable_insert(key, key + 1)
+                else:
+                    index.insert(key, key + 1)
+            elif kind == "scan":
+                result = index.scan(key, scan_length)
+                if validate and (not result or result[0][0] != key):
+                    raise AssertionError(f"scan({key}) did not start at the key")
+            else:
+                raise ValueError(f"unknown operation kind {kind!r}")
+            latencies[i] = device.stats.elapsed_us - before_us
+    except CrashError as crash:
+        crashed_at = crash.op_index
+        executed = crash.op_index
+        latencies = latencies[:executed]
+        fault_injector.crash(wal, crash.op_index)
+    else:
+        if wal is not None:
+            wal.flush()  # make the tail group commit durable
 
     delta = device.stats.diff(start)
     roles = index.file_roles()
@@ -113,18 +159,18 @@ def run_workload(index: DiskIndex, ops: Sequence[Operation], workload: str = "",
         else:
             leaf_reads += file_delta
 
-    n = max(len(ops), 1)
+    n = max(executed, 1)
     sim_s = delta.elapsed_us / 1e6
     return RunResult(
         workload=workload,
         index_name=index.name,
-        num_ops=len(ops),
+        num_ops=executed,
         sim_elapsed_us=delta.elapsed_us,
-        throughput_ops_per_s=len(ops) / sim_s if sim_s > 0 else float("inf"),
-        mean_latency_us=float(latencies.mean()) if len(ops) else 0.0,
-        p50_latency_us=float(np.percentile(latencies, 50)) if len(ops) else 0.0,
-        p99_latency_us=float(np.percentile(latencies, 99)) if len(ops) else 0.0,
-        std_latency_us=float(latencies.std()) if len(ops) else 0.0,
+        throughput_ops_per_s=executed / sim_s if sim_s > 0 else float("inf"),
+        mean_latency_us=float(latencies.mean()) if executed else 0.0,
+        p50_latency_us=float(np.percentile(latencies, 50)) if executed else 0.0,
+        p99_latency_us=float(np.percentile(latencies, 99)) if executed else 0.0,
+        std_latency_us=float(latencies.std()) if executed else 0.0,
         blocks_read_per_op=delta.reads / n,
         blocks_written_per_op=delta.writes / n,
         inner_blocks_per_op=inner_reads / n,
@@ -135,4 +181,8 @@ def run_workload(index: DiskIndex, ops: Sequence[Operation], workload: str = "",
         allocated_bytes=device.allocated_bytes,
         live_bytes=device.live_bytes,
         latencies_us=latencies if keep_latencies else None,
+        log_records=(wal.records_appended - log_records_before) if wal is not None else 0,
+        log_flushes=(wal.flushes - log_flushes_before) if wal is not None else 0,
+        log_blocks_written=delta.writes_by_phase.get("log", 0),
+        crashed_at_op=crashed_at,
     )
