@@ -28,6 +28,8 @@ Packages:
 * :mod:`repro.workloads` — the six workload types and the metric runner.
 * :mod:`repro.durability` — write-ahead log with group commit,
   crash-fault injection, checkpoint + WAL-replay recovery.
+* :mod:`repro.obs` — op-level tracing, latency/IO histograms, and trace
+  analysis (``python -m repro.obs.analyze trace.jsonl``).
 * :mod:`repro.bench` — one experiment per paper table/figure
   (``python -m repro.bench all``).
 """
@@ -54,6 +56,7 @@ from .durability import (
     take_checkpoint,
 )
 from .models import LinearModel, optimal_segments, shrinking_cone_segments
+from .obs import Histogram, Tracer
 from .storage import HDD, SSD, BlockDevice, BufferPool, DiskProfile, Pager
 from .workloads import WORKLOADS, build_workload, run_workload
 
@@ -69,6 +72,7 @@ __all__ = [
     "FaultInjector",
     "FitingTreeIndex",
     "HDD",
+    "Histogram",
     "HybridIndex",
     "LinearModel",
     "LippIndex",
@@ -76,6 +80,7 @@ __all__ = [
     "PgmIndex",
     "PlidIndex",
     "SSD",
+    "Tracer",
     "WORKLOADS",
     "WriteAheadLog",
     "__version__",

@@ -31,6 +31,9 @@ def main(argv=None) -> int:
                             help="multiply all sizes by this factor")
     run_parser.add_argument("--chart", metavar="COLUMN", default=None,
                             help="also render COLUMN as an ASCII bar chart")
+    run_parser.add_argument("--trace", metavar="PATH", default=None,
+                            help="export an op-level JSONL trace of every index "
+                                 "the experiment touches, and print its summary")
     all_parser = sub.add_parser("all", help="run every experiment")
     all_parser.add_argument("--scale", type=float, default=None)
     report_parser = sub.add_parser(
@@ -56,11 +59,17 @@ def main(argv=None) -> int:
     if args.scale is not None:
         scale = scale.scaled(args.scale)
 
+    trace_path = getattr(args, "trace", None)
     targets = experiment_ids() if args.command == "all" else [args.experiment]
     for experiment_id in targets:
         started = time.time()
-        result = run_experiment(experiment_id, scale)
+        result = run_experiment(experiment_id, scale, trace_path=trace_path)
         print(format_result(result))
+        if trace_path:
+            from .report import format_trace_section
+
+            print(format_trace_section(trace_path))
+            print()
         chart_column = getattr(args, "chart", None)
         if chart_column:
             from .report import format_chart

@@ -10,6 +10,7 @@ with the ``REPRO_SCALE`` environment variable or per-call overrides.
 from __future__ import annotations
 
 import os
+from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from typing import Optional
 
@@ -19,9 +20,32 @@ from ..durability import WriteAheadLog
 from ..storage import HDD, SSD, BlockDevice, BufferPool, DiskProfile, Pager
 from ..workloads import WORKLOADS, build_workload, bulk_load_timed
 
-__all__ = ["Scale", "default_scale", "IndexSetup", "fresh_index", "PROFILES"]
+__all__ = ["Scale", "default_scale", "IndexSetup", "fresh_index", "PROFILES",
+           "tracing", "set_active_tracer"]
 
 PROFILES = {"hdd": HDD, "ssd": SSD}
+
+#: When set, :func:`fresh_index` attaches this tracer to every index it
+#: builds — the mechanism behind ``python -m repro.bench run X --trace``.
+#: Experiments build one device per cell, so the tracer accumulates
+#: totals across every device it gets bound to.
+_ACTIVE_TRACER = None
+
+
+def set_active_tracer(tracer) -> None:
+    """Set (or clear, with None) the tracer fresh_index attaches."""
+    global _ACTIVE_TRACER
+    _ACTIVE_TRACER = tracer
+
+
+@contextmanager
+def tracing(tracer):
+    """Attach ``tracer`` to every index built inside the block."""
+    set_active_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_active_tracer(None)
 
 
 @dataclass(frozen=True)
@@ -110,6 +134,10 @@ def fresh_index(index_name: str, dataset: str, workload: str, scale: Scale,
     pool = BufferPool(buffer_blocks) if buffer_blocks > 0 else None
     pager = Pager(device, buffer_pool=pool)
     index = make_index(index_name, pager, **(index_params or {}))
+    if _ACTIVE_TRACER is not None:
+        # Attach before the bulk load so its I/O lands in the trace's
+        # background record and the totals reconcile with device stats.
+        index.attach_tracer(_ACTIVE_TRACER)
     bulkload_us = bulk_load_timed(index, bulk_items)
     if inner_memory_resident:
         index.set_inner_memory_resident(True)

@@ -500,11 +500,25 @@ def experiment_ids() -> List[str]:
     return list(EXPERIMENTS)
 
 
-def run_experiment(experiment_id: str, scale: Optional[Scale] = None) -> ExperimentResult:
+def run_experiment(experiment_id: str, scale: Optional[Scale] = None,
+                   trace_path: Optional[str] = None) -> ExperimentResult:
+    """Run one experiment; with ``trace_path`` set, attach a
+    :class:`repro.obs.Tracer` to every index the experiment builds and
+    export the combined op-level trace as JSONL to that path."""
     try:
         fn = EXPERIMENTS[experiment_id]
     except KeyError:
         raise ValueError(
             f"unknown experiment {experiment_id!r}; available: {experiment_ids()}"
         ) from None
-    return fn(scale)
+    if trace_path is None:
+        return fn(scale)
+    from ..obs import Tracer
+    from .config import tracing
+
+    tracer = Tracer()
+    with tracing(tracer):
+        result = fn(scale)
+    tracer.export_jsonl(trace_path)
+    tracer.unbind()
+    return result

@@ -6,7 +6,7 @@ from typing import List
 
 from .experiments import ExperimentResult
 
-__all__ = ["format_result", "format_table", "format_chart"]
+__all__ = ["format_result", "format_table", "format_chart", "format_trace_section"]
 
 
 def format_table(rows: List[dict], columns: List[str]) -> str:
@@ -46,6 +46,17 @@ def format_chart(rows, label_columns, value_column, width: int = 48) -> str:
         bar = "#" * max(int(value / peak * width), 1 if value > 0 else 0)
         lines.append(f"{label.ljust(label_width)} |{bar} {value:g}")
     return "\n".join(lines)
+
+
+def format_trace_section(trace_path: str, top_k: int = 10) -> str:
+    """Render the op-level trace exported during an experiment run:
+    per-op-type costs, most expensive ops, SMO cascades, hit-rate
+    timeline, and the per-phase totals that reconcile with device stats."""
+    from ..obs import format_summary, load_trace, summarize
+
+    title = f"trace ({trace_path})"
+    summary = summarize(load_trace(trace_path), top_k=top_k)
+    return "\n".join([title, "=" * len(title), format_summary(summary)])
 
 
 def format_result(result: ExperimentResult) -> str:

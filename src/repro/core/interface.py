@@ -45,6 +45,9 @@ class DiskIndex(abc.ABC):
         #: optional :class:`repro.durability.WriteAheadLog`; when attached,
         #: the ``durable_*`` mutation paths emit logical log records.
         self.wal = None
+        #: optional :class:`repro.obs.Tracer`; when attached, the workload
+        #: runner scopes one trace event to each logical operation.
+        self.tracer = None
 
     # -- required operations -------------------------------------------------
 
@@ -89,6 +92,8 @@ class DiskIndex(abc.ABC):
         effects are captured by the checkpoint / are the redo itself).
         """
         self.wal = wal
+        if self.tracer is not None:
+            self.tracer.bind_wal(wal)
 
     def durable_insert(self, key: int, payload: int) -> None:
         """Log-then-apply insert: the logical record enters the WAL buffer
@@ -106,6 +111,24 @@ class DiskIndex(abc.ABC):
         if self.wal is not None:
             self.wal.append("delete", key)
         return self.delete(key)
+
+    # -- observability -----------------------------------------------------------
+
+    def attach_tracer(self, tracer) -> None:
+        """Observe this index's I/O with a :class:`repro.obs.Tracer`.
+
+        Binds the tracer to the index's pager (device access hook, buffer
+        pool probes, last-block reuse) and to its WAL if one is attached.
+        The workload runner then emits one trace event per operation.
+        """
+        self.tracer = tracer
+        tracer.bind(self.pager, wal=self.wal)
+
+    def detach_tracer(self) -> None:
+        """Remove the tracer's hooks; tracing overhead drops to zero."""
+        if self.tracer is not None:
+            self.tracer.unbind()
+            self.tracer = None
 
     # -- optional hooks --------------------------------------------------------
 

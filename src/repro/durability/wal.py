@@ -85,6 +85,9 @@ class WriteAheadLog:
         self.durable_seqno = 0
         self.flushes = 0
         self.records_appended = 0
+        #: optional hook ``(records, blocks)`` fired after each group
+        #: commit reaches the device (set by :class:`repro.obs.Tracer`).
+        self.on_flush = None
 
     # -- geometry ------------------------------------------------------------
 
@@ -126,6 +129,7 @@ class WriteAheadLog:
             return
         per_block = self.records_per_block
         bs = self.pager.block_size
+        blocks_written = 0
         with self.pager.phase("log"):
             for start in range(0, len(self.buffer), per_block):
                 chunk = self.buffer[start:start + per_block]
@@ -135,9 +139,13 @@ class WriteAheadLog:
                 block[_BLOCK_HEADER.size:_BLOCK_HEADER.size + len(area)] = area
                 block_no = self.file.allocate(1)
                 self.pager.write_block(self.file, block_no, bytes(block))
+                blocks_written += 1
         self.durable_seqno = self.next_seqno - 1
         self.flushes += 1
+        records = len(self.buffer)
         self.buffer.clear()
+        if self.on_flush is not None:
+            self.on_flush(records, blocks_written)
 
     # -- crash surface (used by the fault injector) ---------------------------
 

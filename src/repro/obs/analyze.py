@@ -1,0 +1,202 @@
+"""Trace-file analysis: where did the blocks go?
+
+Reads the JSONL produced by :meth:`~repro.obs.Tracer.export_jsonl` and
+answers the questions per-run aggregates cannot:
+
+* **top-K most expensive ops** — which individual inserts paid for a
+  structure modification (the paper's tail-latency discussion, Fig. 12);
+* **SMO cascade detection** — ops whose SMO-phase block traffic exceeds a
+  threshold, i.e. a split/retrain that rewrote many blocks at once;
+* **hit-rate timeline** — buffer-pool hit rate per window of operations,
+  showing cache warm-up and post-SMO cold misses;
+* **reconciliation** — per-phase totals summed over every record, which
+  must equal the device's ``StorageStats`` (asserted in the test suite).
+
+Usable as a library or from the command line::
+
+    python -m repro.obs.analyze trace.jsonl --top 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Dict, Iterable, List, Optional
+
+__all__ = ["load_trace", "summarize", "format_summary", "main"]
+
+#: An op whose SMO phase touches at least this many blocks is a cascade —
+#: a single-node split writes 2-4 blocks, so 8+ means the modification
+#: propagated (FITing/ALEX resegmentation, PGM merge, LIPP subtree rebuild).
+DEFAULT_CASCADE_BLOCKS = 8
+
+
+def load_trace(path: str) -> List[dict]:
+    """Read one JSONL trace file into a list of record dicts."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def _sum_phase_dicts(records: Iterable[dict], field: str) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for record in records:
+        for phase, value in record.get(field, {}).items():
+            out[phase] = out.get(phase, 0) + value
+    return out
+
+
+def _smo_blocks(record: dict) -> int:
+    return (record.get("reads", {}).get("smo", 0)
+            + record.get("writes", {}).get("smo", 0))
+
+
+def summarize(records: List[dict], top_k: int = 10, windows: int = 20,
+              cascade_blocks: int = DEFAULT_CASCADE_BLOCKS) -> dict:
+    """Digest a loaded trace into a JSON-serializable summary dict."""
+    ops = [r for r in records if r.get("type") == "op"]
+    accounted = [r for r in records if r.get("type") in ("op", "evicted", "background")]
+    summary_record = next((r for r in records if r.get("type") == "summary"), None)
+
+    by_op: Dict[str, dict] = {}
+    for record in ops:
+        bucket = by_op.setdefault(record["op"], {
+            "count": 0, "us": 0.0, "reads": 0, "writes": 0,
+            "pool_hits": 0, "pool_misses": 0})
+        bucket["count"] += 1
+        bucket["us"] += record["us"]
+        bucket["reads"] += sum(record["reads"].values())
+        bucket["writes"] += sum(record["writes"].values())
+        bucket["pool_hits"] += record["pool_hits"]
+        bucket["pool_misses"] += record["pool_misses"]
+    for bucket in by_op.values():
+        bucket["mean_us"] = bucket["us"] / bucket["count"]
+
+    top = sorted(ops, key=lambda r: r["us"], reverse=True)[:top_k]
+    top_ops = [{
+        "i": r["i"], "op": r["op"], "key": r["key"], "us": r["us"],
+        "reads": sum(r["reads"].values()), "writes": sum(r["writes"].values()),
+        "smo_blocks": _smo_blocks(r),
+    } for r in top]
+
+    cascades = sorted(
+        ({"i": r["i"], "op": r["op"], "key": r["key"],
+          "smo_blocks": _smo_blocks(r), "us": r["us"]}
+         for r in ops if _smo_blocks(r) >= cascade_blocks),
+        key=lambda c: c["smo_blocks"], reverse=True)
+
+    timeline = []
+    if ops and windows > 0:
+        per_window = max(1, (len(ops) + windows - 1) // windows)
+        for start in range(0, len(ops), per_window):
+            chunk = ops[start:start + per_window]
+            hits = sum(r["pool_hits"] for r in chunk)
+            misses = sum(r["pool_misses"] for r in chunk)
+            reuse = sum(r["reuse_hits"] for r in chunk)
+            probes = hits + misses
+            timeline.append({
+                "first_i": chunk[0]["i"], "last_i": chunk[-1]["i"],
+                "ops": len(chunk), "pool_hits": hits, "pool_misses": misses,
+                "reuse_hits": reuse,
+                "hit_rate": hits / probes if probes else None,
+            })
+
+    return {
+        "num_ops": len(ops),
+        "dropped_ops": summary_record["dropped_ops"] if summary_record else 0,
+        "by_op": by_op,
+        "top_ops": top_ops,
+        "cascades": cascades,
+        "cascade_blocks_threshold": cascade_blocks,
+        "hit_rate_timeline": timeline,
+        "reconciliation": {
+            "reads": _sum_phase_dicts(accounted, "reads"),
+            "writes": _sum_phase_dicts(accounted, "writes"),
+            "us_by_phase": _sum_phase_dicts(accounted, "us_by_phase"),
+        },
+        "declared_totals": {
+            "reads": summary_record.get("reads", {}),
+            "writes": summary_record.get("writes", {}),
+            "us_by_phase": summary_record.get("us_by_phase", {}),
+        } if summary_record else None,
+    }
+
+
+def format_summary(summary: dict) -> str:
+    """Render a summary dict as a plain-text report section."""
+    lines = [f"trace: {summary['num_ops']} ops"
+             + (f" ({summary['dropped_ops']} folded into the evicted aggregate)"
+                if summary["dropped_ops"] else "")]
+
+    if summary["by_op"]:
+        lines.append("\nper op type:")
+        for op, b in sorted(summary["by_op"].items()):
+            lines.append(
+                f"  {op:<8} x{b['count']:<7} mean {b['mean_us']:>10.1f} us   "
+                f"reads {b['reads']}  writes {b['writes']}")
+
+    if summary["top_ops"]:
+        lines.append("\nmost expensive ops:")
+        for r in summary["top_ops"]:
+            lines.append(
+                f"  #{r['i']:<7} {r['op']:<8} key={r['key']:<20} "
+                f"{r['us']:>10.1f} us  r={r['reads']} w={r['writes']}"
+                + (f"  smo={r['smo_blocks']}" if r["smo_blocks"] else ""))
+
+    threshold = summary["cascade_blocks_threshold"]
+    if summary["cascades"]:
+        lines.append(f"\nSMO cascades (>= {threshold} smo-phase blocks): "
+                     f"{len(summary['cascades'])}")
+        for c in summary["cascades"][:10]:
+            lines.append(
+                f"  #{c['i']:<7} {c['op']:<8} key={c['key']:<20} "
+                f"{c['smo_blocks']} blocks  {c['us']:.1f} us")
+    else:
+        lines.append(f"\nno SMO cascades (>= {threshold} smo-phase blocks)")
+
+    probed = [w for w in summary["hit_rate_timeline"] if w["hit_rate"] is not None]
+    if probed:
+        lines.append("\nbuffer-pool hit rate timeline:")
+        for w in summary["hit_rate_timeline"]:
+            rate = w["hit_rate"]
+            bar = "#" * int((rate or 0.0) * 40)
+            shown = f"{rate:.2f}" if rate is not None else "  - "
+            lines.append(f"  ops {w['first_i']:>7}..{w['last_i']:<7} {shown} |{bar}")
+
+    recon = summary["reconciliation"]
+    lines.append("\nper-phase totals (reads/writes/us):")
+    for phase in sorted(set(recon["reads"]) | set(recon["writes"])
+                        | set(recon["us_by_phase"])):
+        lines.append(
+            f"  {phase:<12} r={recon['reads'].get(phase, 0):<8} "
+            f"w={recon['writes'].get(phase, 0):<8} "
+            f"{recon['us_by_phase'].get(phase, 0.0):.1f} us")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.analyze",
+        description="Summarize a JSONL trace exported by repro.obs.Tracer.")
+    parser.add_argument("trace", help="path to the .jsonl trace file")
+    parser.add_argument("--top", type=int, default=10,
+                        help="how many most-expensive ops to list")
+    parser.add_argument("--windows", type=int, default=20,
+                        help="windows in the hit-rate timeline")
+    parser.add_argument("--cascade-blocks", type=int,
+                        default=DEFAULT_CASCADE_BLOCKS,
+                        help="SMO-phase blocks for an op to count as a cascade")
+    args = parser.parse_args(argv)
+    summary = summarize(load_trace(args.trace), top_k=args.top,
+                        windows=args.windows,
+                        cascade_blocks=args.cascade_blocks)
+    print(format_summary(summary))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

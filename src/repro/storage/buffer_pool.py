@@ -36,19 +36,35 @@ class BufferPool:
         self._blocks: "OrderedDict[_Key, bytes]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: optional observer with ``pool_hit()``/``pool_miss()`` methods
+        #: (a :class:`repro.obs.Tracer`); None keeps probes hook-free.
+        self.listener = None
 
     def __len__(self) -> int:
         return len(self._blocks)
+
+    # All three policies funnel their probe outcomes through these two
+    # helpers, so the hit/miss counters and the tracer hook can never
+    # disagree across policies.
+    def _record_hit(self) -> None:
+        self.hits += 1
+        if self.listener is not None:
+            self.listener.pool_hit()
+
+    def _record_miss(self) -> None:
+        self.misses += 1
+        if self.listener is not None:
+            self.listener.pool_miss()
 
     def get(self, file_name: str, block_no: int) -> Optional[bytes]:
         """Return the cached block or None, updating recency and hit counters."""
         key = (file_name, block_no)
         data = self._blocks.get(key)
         if data is None:
-            self.misses += 1
+            self._record_miss()
             return None
         self._blocks.move_to_end(key)
-        self.hits += 1
+        self._record_hit()
         return data
 
     def put(self, file_name: str, block_no: int, data: bytes) -> None:
@@ -88,9 +104,9 @@ class FifoBufferPool(BufferPool):
     def get(self, file_name: str, block_no: int) -> Optional[bytes]:
         data = self._blocks.get((file_name, block_no))
         if data is None:
-            self.misses += 1
+            self._record_miss()
             return None
-        self.hits += 1  # no move_to_end: insertion order decides eviction
+        self._record_hit()  # no move_to_end: insertion order decides eviction
         return data
 
     def put(self, file_name: str, block_no: int, data: bytes) -> None:
@@ -121,10 +137,10 @@ class ClockBufferPool(BufferPool):
         key = (file_name, block_no)
         data = self._blocks.get(key)
         if data is None:
-            self.misses += 1
+            self._record_miss()
             return None
         self._referenced[key] = True
-        self.hits += 1
+        self._record_hit()
         return data
 
     def put(self, file_name: str, block_no: int, data: bytes) -> None:

@@ -61,8 +61,16 @@ class StorageStats:
         )
 
     def diff(self, earlier: "StorageStats") -> "StorageStats":
-        """Counters accumulated since ``earlier`` was snapshotted."""
-        phases = set(self.reads_by_phase) | set(self.writes_by_phase) | set(self.time_by_phase)
+        """Counters accumulated since ``earlier`` was snapshotted.
+
+        The phase dicts cover the union of both sides' phases, so a phase
+        that first appears *after* the snapshot (or one that only the
+        snapshot saw) still shows up in the delta instead of being
+        silently dropped.
+        """
+        phases = (set(self.reads_by_phase) | set(self.writes_by_phase)
+                  | set(self.time_by_phase) | set(earlier.reads_by_phase)
+                  | set(earlier.writes_by_phase) | set(earlier.time_by_phase))
         return StorageStats(
             reads=self.reads - earlier.reads,
             writes=self.writes - earlier.writes,
@@ -162,6 +170,11 @@ class BlockDevice:
         self.files: Dict[str, BlockFile] = {}
         self._phase = "default"
         self._last_access: Optional[tuple] = None  # (file name, block no)
+        #: optional per-access hook ``(kind, file_name, block_no, phase,
+        #: cost_us)`` with kind "r"/"w", fired for every *charged* access
+        #: (memory-resident files excluded) — set by
+        #: :meth:`repro.obs.Tracer.bind`.  None keeps the hot path free.
+        self.on_access = None
 
     # -- file management ---------------------------------------------------
 
@@ -221,6 +234,8 @@ class BlockDevice:
             self.stats.reads_by_phase[phase] = self.stats.reads_by_phase.get(phase, 0) + 1
             self.stats.time_by_phase[phase] = self.stats.time_by_phase.get(phase, 0.0) + cost
             self._last_access = (file.name, block_no)
+            if self.on_access is not None:
+                self.on_access("r", file.name, block_no, phase, cost)
         block = file.blocks[block_no]
         return bytes(block)
 
@@ -241,6 +256,8 @@ class BlockDevice:
             self.stats.writes_by_phase[phase] = self.stats.writes_by_phase.get(phase, 0) + 1
             self.stats.time_by_phase[phase] = self.stats.time_by_phase.get(phase, 0.0) + cost
             self._last_access = (file.name, block_no)
+            if self.on_access is not None:
+                self.on_access("w", file.name, block_no, phase, cost)
         file.blocks[block_no] = bytearray(data)
 
     # -- reporting -----------------------------------------------------------

@@ -49,6 +49,10 @@ class Pager:
         self.buffer_pool = buffer_pool
         self.reuse_last_block = reuse_last_block
         self._last: Optional[Tuple[str, int, bytes]] = None
+        #: optional :class:`repro.obs.Tracer`, set by ``Tracer.bind``;
+        #: only consulted on last-block reuse hits (the one cache level
+        #: the device and buffer pool cannot see).
+        self.tracer = None
 
     @property
     def block_size(self) -> int:
@@ -78,6 +82,8 @@ class Pager:
         if self.reuse_last_block and self._last is not None:
             name, no, data = self._last
             if name == file.name and no == block_no:
+                if self.tracer is not None:
+                    self.tracer.reuse_hit()
                 return data
         if self.buffer_pool is not None:
             cached = self.buffer_pool.get(file.name, block_no)

@@ -11,7 +11,10 @@ collects every metric the paper reports:
 * bulk-load time and on-disk storage usage (Figures 7 and 10);
 * write-ahead-log traffic and group-commit accounting when the index has
   a WAL attached, plus crash/recovery bookkeeping when a
-  :class:`~repro.durability.FaultInjector` kills the run mid-stream.
+  :class:`~repro.durability.FaultInjector` kills the run mid-stream;
+* latency histogram digests per op type (always), and — when a
+  :class:`~repro.obs.Tracer` is attached — per-phase µs and per-op block
+  histograms scoped from the trace events.
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ import numpy as np
 
 from ..core.interface import DiskIndex
 from ..durability.faults import CrashError, FaultInjector
+from ..obs.metrics import Histogram, io_bounds, latency_bounds
 from ..storage import Pager
 from .spec import Operation
 
@@ -59,6 +63,15 @@ class RunResult:
     log_blocks_written: int = 0  # device blocks written under the "log" phase
     crashed_at_op: Optional[int] = None  # op index a fault injector fired at
     recovery_us: float = 0.0   # filled by callers that run recovery afterwards
+    # -- observability (histogram digests: count/mean/p50/p90/p99/max) --
+    p90_latency_us: float = 0.0
+    max_latency_us: float = 0.0
+    #: per op type ("lookup"/"insert"/"scan") latency digest; always filled.
+    op_latency_histograms: Dict[str, dict] = field(default_factory=dict)
+    #: per phase, the per-op µs digest — only when a tracer was attached.
+    phase_latency_histograms: Optional[Dict[str, dict]] = None
+    #: per op type, the blocks-touched-per-op digest — only when traced.
+    op_io_histograms: Optional[Dict[str, dict]] = None
 
     def phase_latency_us(self, phase: str) -> float:
         """Average simulated time per op spent in a phase (Figure 6)."""
@@ -85,7 +98,8 @@ def bulk_load_timed(index: DiskIndex, items: Sequence[Tuple[int, int]]) -> float
 def run_workload(index: DiskIndex, ops: Sequence[Operation], workload: str = "",
                  scan_length: int = 100, keep_latencies: bool = False,
                  validate: bool = False,
-                 fault_injector: Optional[FaultInjector] = None) -> RunResult:
+                 fault_injector: Optional[FaultInjector] = None,
+                 tracer=None) -> RunResult:
     """Execute ``ops`` against a loaded index and collect metrics.
 
     Args:
@@ -101,6 +115,12 @@ def run_workload(index: DiskIndex, ops: Sequence[Operation], workload: str = "",
             dropped (and its tail block optionally torn), and the result
             covers only the executed prefix with ``crashed_at_op`` set —
             the caller then recovers via :func:`repro.durability.recover`.
+        tracer: optional :class:`repro.obs.Tracer`; defaults to the one
+            attached to the index (``index.attach_tracer``), if any.
+            Each operation runs inside an op-scoped trace span, and the
+            result gains per-phase and per-op-type histogram digests.
+            With no tracer, every pre-existing metric is computed exactly
+            as before — the traced and untraced counters are identical.
 
     Mutating operations go through the ``durable_*`` log-then-apply path
     whenever the index has a WAL attached; on a clean finish the WAL's
@@ -109,6 +129,10 @@ def run_workload(index: DiskIndex, ops: Sequence[Operation], workload: str = "",
     pager: Pager = index.pager
     device = pager.device
     wal = index.wal
+    if tracer is None:
+        tracer = getattr(index, "tracer", None)
+    phase_hists: Dict[str, Histogram] = {}
+    io_hists: Dict[str, Histogram] = {}
     start = device.stats.snapshot()
     file_reads_before = {name: f.reads for name, f in device.files.items()}
     log_records_before = wal.records_appended if wal is not None else 0
@@ -121,6 +145,8 @@ def run_workload(index: DiskIndex, ops: Sequence[Operation], workload: str = "",
         for i, (kind, key) in enumerate(ops):
             if fault_injector is not None:
                 fault_injector.maybe_crash(i)
+            if tracer is not None:
+                tracer.begin_op(kind, key, i)
             before_us = device.stats.elapsed_us
             if kind == "lookup":
                 result = index.lookup(key)
@@ -139,6 +165,19 @@ def run_workload(index: DiskIndex, ops: Sequence[Operation], workload: str = "",
             else:
                 raise ValueError(f"unknown operation kind {kind!r}")
             latencies[i] = device.stats.elapsed_us - before_us
+            if tracer is not None:
+                event = tracer.end_op()
+                for phase, us in event["us_by_phase"].items():
+                    hist = phase_hists.get(phase)
+                    if hist is None:
+                        hist = phase_hists[phase] = Histogram(latency_bounds())
+                    hist.record(us)
+                blocks = (sum(event["reads"].values())
+                          + sum(event["writes"].values()))
+                hist = io_hists.get(kind)
+                if hist is None:
+                    hist = io_hists[kind] = Histogram(io_bounds())
+                hist.record(blocks)
     except CrashError as crash:
         crashed_at = crash.op_index
         executed = crash.op_index
@@ -158,6 +197,17 @@ def run_workload(index: DiskIndex, ops: Sequence[Operation], workload: str = "",
             inner_reads += file_delta
         else:
             leaf_reads += file_delta
+
+    # Histogram digests per op type, from the same latency samples the
+    # scalar percentiles use (so disabled-tracing runs pay one extra pass
+    # over an array they already hold, and no change to existing fields).
+    op_hists: Dict[str, Histogram] = {}
+    for i in range(executed):
+        kind = ops[i][0]
+        hist = op_hists.get(kind)
+        if hist is None:
+            hist = op_hists[kind] = Histogram(latency_bounds())
+        hist.record(float(latencies[i]))
 
     n = max(executed, 1)
     sim_s = delta.elapsed_us / 1e6
@@ -185,4 +235,13 @@ def run_workload(index: DiskIndex, ops: Sequence[Operation], workload: str = "",
         log_flushes=(wal.flushes - log_flushes_before) if wal is not None else 0,
         log_blocks_written=delta.writes_by_phase.get("log", 0),
         crashed_at_op=crashed_at,
+        p90_latency_us=float(np.percentile(latencies, 90)) if executed else 0.0,
+        max_latency_us=float(latencies.max()) if executed else 0.0,
+        op_latency_histograms={k: h.summary() for k, h in op_hists.items()},
+        phase_latency_histograms=(
+            {p: h.summary() for p, h in phase_hists.items()}
+            if tracer is not None else None),
+        op_io_histograms=(
+            {k: h.summary() for k, h in io_hists.items()}
+            if tracer is not None else None),
     )

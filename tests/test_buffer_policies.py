@@ -108,3 +108,137 @@ def test_policies_never_exceed_capacity(ops, capacity, policy):
         else:
             pool.invalidate("f", block)
         assert len(pool) <= capacity
+
+
+# -- invalidation / clear / hit_rate across all three policies --------------
+
+POLICIES = ("lru", "fifo", "clock")
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_invalidate_single_block(policy):
+    pool = make_buffer_pool(4, policy)
+    pool.put("f", 1, b"a")
+    pool.put("f", 2, b"b")
+    pool.invalidate("f", 1)
+    assert pool.get("f", 1) is None
+    assert pool.get("f", 2) == b"b"
+    assert len(pool) == 1
+    pool.invalidate("f", 99)  # absent: a no-op, not an error
+    assert len(pool) == 1
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_invalidate_file_drops_only_that_file(policy):
+    pool = make_buffer_pool(8, policy)
+    for block in range(3):
+        pool.put("a", block, b"x")
+        pool.put("b", block, b"y")
+    pool.invalidate_file("a")
+    assert len(pool) == 3
+    for block in range(3):
+        assert pool.get("a", block) is None
+        assert pool.get("b", block) == b"y"
+    pool.invalidate_file("missing")  # unknown file: no-op
+    assert len(pool) == 3
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_clear_empties_and_pool_stays_usable(policy):
+    pool = make_buffer_pool(3, policy)
+    for block in range(3):
+        pool.put("f", block, bytes([block]))
+    pool.clear()
+    assert len(pool) == 0
+    for block in range(5):  # refill past capacity: eviction still works
+        pool.put("f", block, bytes([block]))
+    assert len(pool) == 3
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_hit_rate_counts_probes(policy):
+    pool = make_buffer_pool(4, policy)
+    assert pool.hit_rate == 0.0  # no probes yet
+    pool.put("f", 1, b"a")
+    assert pool.get("f", 1) == b"a"
+    assert pool.get("f", 2) is None
+    assert pool.get("f", 1) == b"a"
+    assert pool.hits == 2 and pool.misses == 1
+    assert pool.hit_rate == pytest.approx(2 / 3)
+    pool.invalidate("f", 1)
+    assert pool.get("f", 1) is None  # post-invalidation probes are misses
+    assert pool.hit_rate == pytest.approx(2 / 4)
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_capacity_zero_pool_never_caches(policy):
+    pool = make_buffer_pool(0, policy)
+    pool.put("f", 1, b"a")
+    assert pool.get("f", 1) is None
+    assert len(pool) == 0
+    pool.invalidate("f", 1)
+    pool.invalidate_file("f")
+    pool.clear()
+    assert pool.hit_rate == 0.0
+
+
+# -- clock hand position after invalidation --------------------------------
+
+def _clock_with_ring(*blocks):
+    pool = ClockBufferPool(len(blocks))
+    for block in blocks:
+        pool.put("f", block, bytes([block]))
+    assert pool._ring == [("f", b) for b in blocks]
+    assert pool._hand == 0
+    return pool
+
+
+def test_clock_invalidate_before_hand_shifts_hand_back():
+    pool = _clock_with_ring(0, 1, 2)
+    pool.put("f", 3, b"\x03")  # evicts 0 (unreferenced), hand moves to 1
+    assert pool._hand == 1
+    pool.invalidate("f", 3)    # ring index 0, before the hand
+    assert pool._ring == [("f", 1), ("f", 2)]
+    assert pool._hand == 0     # still pointing at ("f", 1)
+    assert pool._ring[pool._hand] == ("f", 1)
+
+
+def test_clock_invalidate_at_hand_keeps_index_valid():
+    pool = _clock_with_ring(0, 1, 2)
+    pool.put("f", 3, b"\x03")
+    assert pool._hand == 1 and pool._ring[1] == ("f", 1)
+    pool.invalidate("f", 1)    # the block the hand points at
+    assert pool._ring == [("f", 3), ("f", 2)]
+    assert pool._hand == 1     # now points at the successor ("f", 2)
+    assert pool._ring[pool._hand] == ("f", 2)
+
+
+def test_clock_invalidate_last_slot_wraps_hand():
+    pool = _clock_with_ring(0, 1, 2)
+    pool.put("f", 3, b"\x03")
+    pool.put("f", 4, b"\x04")  # hand at 2
+    assert pool._hand == 2
+    pool.invalidate("f", 2)    # ring index 2 == hand, now past the end
+    assert pool._hand == 0     # wrapped, not out of range
+    assert len(pool._ring) == 2
+
+
+def test_clock_invalidate_down_to_empty_resets_hand():
+    pool = _clock_with_ring(0, 1)
+    pool.invalidate("f", 0)
+    pool.invalidate("f", 1)
+    assert pool._ring == [] and pool._hand == 0
+    pool.put("f", 5, b"\x05")  # pool must come back to life cleanly
+    assert pool.get("f", 5) == b"\x05"
+
+
+def test_clock_eviction_correct_after_interleaved_invalidation():
+    """After invalidations rearrange the ring, the clock still evicts an
+    unreferenced victim and keeps referenced blocks alive."""
+    pool = _clock_with_ring(0, 1, 2)
+    pool.invalidate("f", 1)
+    assert pool.get("f", 0) is not None  # reference 0
+    pool.put("f", 7, b"\x07")            # fills the freed slot (append)
+    pool.put("f", 8, b"\x08")            # full: must evict 2 or 7, never 0
+    assert pool.get("f", 0) is not None
+    assert len(pool) == 3

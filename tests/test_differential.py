@@ -1,0 +1,105 @@
+"""Differential correctness harness over every registered index.
+
+Seeded random operation streams (insert/update/delete/lookup/scan/
+range-scan) run against each index and the sorted-dict oracle of
+:mod:`tests.util` in lockstep; every step must agree, and a final
+full-content sweep must agree.  The mutation streams cover the six
+mutable indexes; the hybrid designs are read-only by construction, so
+they get lookup/scan streams (and a check that mutation raises).
+"""
+
+import pytest
+
+from repro.core import index_names, make_index
+from repro.storage import NULL_DEVICE, BlockDevice, Pager
+
+from tests.util import (
+    READONLY_KINDS,
+    ReferenceModel,
+    check_full_agreement,
+    items_of,
+    random_sorted_keys,
+    run_differential,
+)
+
+MUTABLE_INDEXES = index_names(include_plid=True)
+HYBRID_INDEXES = [n for n in index_names(include_hybrids=True) if "-" in n]
+SEEDS = (101, 202)
+
+
+def loaded(name, keys):
+    index = make_index(name, Pager(BlockDevice(4096, NULL_DEVICE)))
+    index.bulk_load(items_of(keys))
+    return index
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("name", MUTABLE_INDEXES)
+def test_mutation_stream_matches_oracle(name, seed):
+    keys = random_sorted_keys(600, seed=seed, key_space=10**9)
+    index = loaded(name, keys)
+    model = ReferenceModel(items_of(keys))
+    counts = run_differential(index, model, num_ops=500, seed=seed)
+    # The stream really exercised every operation kind.
+    assert all(counts[kind] > 0 for kind in
+               ("insert", "update", "delete", "lookup", "scan", "scan_range"))
+
+
+@pytest.mark.parametrize("name", MUTABLE_INDEXES)
+def test_mutation_stream_from_empty(name):
+    """The same harness starting from an empty bulk load, forcing every
+    index to grow its structure mid-stream."""
+    index = make_index(name, Pager(BlockDevice(4096, NULL_DEVICE)))
+    index.bulk_load([])
+    model = ReferenceModel()
+    run_differential(index, model, num_ops=400, seed=7,
+                     kinds=("insert", "insert", "insert", "update", "delete",
+                            "lookup", "scan", "scan_range"))
+    assert len(model) > 0
+
+
+@pytest.mark.parametrize("name", MUTABLE_INDEXES)
+def test_delete_heavy_stream(name):
+    """Skew the mix toward deletes so scans constantly cross tombstones
+    (or whatever removal mechanism the index uses)."""
+    keys = random_sorted_keys(500, seed=31, key_space=10**9)
+    index = loaded(name, keys)
+    model = ReferenceModel(items_of(keys))
+    run_differential(index, model, num_ops=400, seed=31,
+                     kinds=("delete", "delete", "delete", "insert", "lookup",
+                            "scan", "scan_range"))
+    assert len(model) < 500  # net deletion actually happened
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("name", HYBRID_INDEXES)
+def test_readonly_stream_matches_oracle(name, seed):
+    keys = random_sorted_keys(600, seed=seed, key_space=10**9)
+    index = loaded(name, keys)
+    model = ReferenceModel(items_of(keys))
+    run_differential(index, model, num_ops=300, seed=seed,
+                     kinds=READONLY_KINDS)
+
+
+@pytest.mark.parametrize("name", HYBRID_INDEXES)
+def test_hybrids_reject_mutation(name):
+    index = loaded(name, random_sorted_keys(50, seed=3))
+    with pytest.raises(NotImplementedError):
+        index.insert(1, 2)
+
+
+def test_reference_model_is_a_sorted_dict():
+    """Sanity-check the oracle itself against plain dict/sorted logic."""
+    model = ReferenceModel([(5, 50), (1, 10), (9, 90)])
+    assert model.keys() == [1, 5, 9]
+    assert model.lookup(5) == 50 and model.lookup(2) is None
+    with pytest.raises(KeyError):
+        model.insert(5, 0)
+    assert model.update(5, 55) and not model.update(2, 0)
+    assert model.delete(5) and not model.delete(5)
+    model.insert(5, 51)  # re-insert after delete
+    assert model.scan(2, 2) == [(5, 51), (9, 90)]
+    assert model.scan_range(1, 5) == [(1, 10), (5, 51)]
+    assert model.scan_range(9, 1) == []
+    assert len(model) == 3 and 9 in model
+    check_full_agreement(model, model)  # the oracle agrees with itself

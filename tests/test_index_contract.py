@@ -15,6 +15,8 @@ from hypothesis import strategies as st
 from repro.core import index_names, make_index
 from repro.storage import NULL_DEVICE, BlockDevice, Pager
 
+from tests.util import ReferenceModel, check_full_agreement
+
 ALL_INDEXES = index_names(include_plid=True)
 READONLY_INDEXES = index_names(include_hybrids=True, include_plid=True)
 
@@ -208,14 +210,16 @@ def test_file_roles_cover_all_files(name):
 @given(st.data())
 @pytest.mark.parametrize("name", ALL_INDEXES)
 def test_random_operation_sequences_match_reference(name, data):
-    """Property test: any interleaving of inserts/lookups/scans matches a
-    sorted-dict reference model."""
+    """Property test: any interleaving of inserts/updates/deletes/lookups/
+    scans matches the shared sorted-dict oracle (tests.util.ReferenceModel,
+    the same model the seeded differential harness drives)."""
     base = data.draw(st.lists(st.integers(0, 10**9), min_size=10, max_size=120,
                               unique=True).map(sorted), label="bulk keys")
     index = loaded(name, base)
-    model = {k: k + 1 for k in base}
+    model = ReferenceModel((k, k + 1) for k in base)
     ops = data.draw(st.lists(
-        st.tuples(st.sampled_from(["insert", "lookup", "scan"]),
+        st.tuples(st.sampled_from(["insert", "update", "delete", "lookup",
+                                   "scan"]),
                   st.integers(0, 10**9)),
         max_size=60), label="ops")
     for kind, key in ops:
@@ -223,23 +227,28 @@ def test_random_operation_sequences_match_reference(name, data):
             if key in model:
                 # PGM (LSM) and FITing (delta buffers) shadow duplicates
                 # unless they collide in their own write buffer; the
-                # other indexes always raise.
+                # other indexes always raise.  Shadow with the current
+                # payload so a successful shadow is observably a no-op.
                 if name not in ("pgm", "fiting"):
                     with pytest.raises(KeyError):
-                        index.insert(key, key + 1)
+                        index.insert(key, model.lookup(key))
                 else:
                     try:
-                        index.insert(key, key + 1)
+                        index.insert(key, model.lookup(key))
                     except KeyError:
                         pass
             else:
-                model[key] = key + 1
+                model.insert(key, key + 1)
                 index.insert(key, key + 1)
+        elif kind == "update":
+            assert index.update(key, key + 2) == model.update(key, key + 2)
+        elif kind == "delete":
+            assert index.delete(key) == model.delete(key)
         elif kind == "lookup":
-            assert index.lookup(key) == model.get(key)
+            assert index.lookup(key) == model.lookup(key)
         else:
-            expected = sorted((k, v) for k, v in model.items() if k >= key)[:5]
-            assert index.scan(key, 5) == expected
+            assert index.scan(key, 5) == model.scan(key, 5)
+    check_full_agreement(index, model, probe_misses=5)
 
 
 @pytest.mark.parametrize("name", READONLY_INDEXES)

@@ -1,0 +1,130 @@
+"""Unit and property tests for repro.obs.metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import Counter, Histogram, MetricsRegistry, io_bounds, latency_bounds
+
+
+def test_bounds_factories_strictly_increasing():
+    for bounds in (latency_bounds(), latency_bounds(per_decade=1),
+                   latency_bounds(per_decade=10), io_bounds(), io_bounds(64)):
+        assert all(a < b for a, b in zip(bounds, bounds[1:]))
+
+
+def test_histogram_rejects_bad_bounds():
+    with pytest.raises(ValueError):
+        Histogram([])
+    with pytest.raises(ValueError):
+        Histogram([1.0, 1.0])
+    with pytest.raises(ValueError):
+        Histogram([2.0, 1.0])
+
+
+def test_empty_histogram_summary():
+    h = Histogram([1.0, 10.0])
+    assert h.count == 0
+    assert h.percentile(50) == 0.0
+    assert h.summary() == {"count": 0, "mean": 0.0, "p50": 0.0, "p90": 0.0,
+                           "p99": 0.0, "max": 0.0}
+
+
+def test_histogram_counts_and_extremes():
+    h = Histogram([10.0, 100.0, 1000.0])
+    for v in (5, 7, 50, 200, 5000):
+        h.record(v)
+    assert h.count == 5
+    assert h.min == 5 and h.max == 5000
+    assert h.counts == [2, 1, 1, 1]  # two <=10, one <=100, one <=1000, one over
+    assert h.mean == pytest.approx((5 + 7 + 50 + 200 + 5000) / 5)
+
+
+def test_percentile_max_is_exact():
+    h = Histogram(latency_bounds())
+    values = [3, 17, 90, 1200, 88000]
+    for v in values:
+        h.record(v)
+    assert h.percentile(100) == max(values)
+    assert h.summary()["max"] == max(values)
+
+
+def test_percentile_never_outside_observed_range():
+    h = Histogram([100.0, 200.0])
+    h.record(150.0)
+    for q in (0, 1, 50, 99, 100):
+        assert h.percentile(q) == 150.0  # single sample: every quantile is it
+
+
+def test_percentile_rejects_out_of_range():
+    h = Histogram([1.0])
+    with pytest.raises(ValueError):
+        h.percentile(-1)
+    with pytest.raises(ValueError):
+        h.percentile(101)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.floats(min_value=1.0, max_value=1e7), min_size=1, max_size=300),
+       st.sampled_from([0.0, 50.0, 90.0, 99.0, 100.0]))
+def test_percentile_within_one_bucket_of_order_statistic(values, q):
+    """The estimate lands in (or adjacent to) the bucket holding the
+    nearest-rank order statistic — the histogram's stated error bound.
+
+    (numpy's default linear-interpolation percentile uses a different
+    rank convention, so it is not the reference here; the histogram's
+    rank is ``q/100 * count``, nearest-rank style.)
+    """
+    import bisect
+    import math
+
+    bounds = latency_bounds(low_us=1.0, high_us=1e7, per_decade=4)
+    h = Histogram(bounds)
+    for v in values:
+        h.record(v)
+    rank = max(math.ceil(q / 100.0 * len(values)), 1)
+    reference = sorted(values)[rank - 1]
+    estimate = h.percentile(q)
+    assert h.min <= estimate <= h.max
+    ref_bucket = bisect.bisect_left(bounds, reference)
+    est_bucket = bisect.bisect_left(bounds, estimate)
+    assert abs(est_bucket - ref_bucket) <= 1
+
+
+def test_merge_requires_same_bounds():
+    with pytest.raises(ValueError):
+        Histogram([1.0]).merge(Histogram([2.0]))
+
+
+def test_merge_equals_recording_into_one():
+    a, b, both = (Histogram(io_bounds()) for _ in range(3))
+    for v in (1, 2, 3, 40):
+        a.record(v)
+        both.record(v)
+    for v in (5, 600):
+        b.record(v)
+        both.record(v)
+    a.merge(b)
+    assert a.counts == both.counts
+    assert a.count == both.count
+    assert a.total == both.total
+    assert a.min == both.min and a.max == both.max
+
+
+def test_counter():
+    c = Counter("ops")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+
+
+def test_registry_get_or_create():
+    reg = MetricsRegistry()
+    assert reg.counter("a") is reg.counter("a")
+    assert reg.histogram("h") is reg.histogram("h")
+    reg.counter("a").inc(3)
+    reg.histogram("h").record(12.0)
+    snap = reg.snapshot()
+    assert snap["counters"] == {"a": 3}
+    assert snap["histograms"]["h"]["count"] == 1

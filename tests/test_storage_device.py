@@ -1,8 +1,11 @@
 """Unit tests for the simulated block device."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.storage import HDD, NULL_DEVICE, SSD, BlockDevice, DiskProfile
+from repro.storage.device import StorageStats
 
 
 def test_block_size_must_be_positive():
@@ -157,3 +160,79 @@ def test_transfer_cost_scales_with_block_size():
     small = profile.read_cost_us(4096, sequential=False)
     large = profile.read_cost_us(16384, sequential=False)
     assert large == small + 10.0 * 12  # 12 extra KiB
+
+
+# -- StorageStats snapshot/diff round-trip ----------------------------------
+
+_phase_dicts = st.dictionaries(
+    st.sampled_from(["default", "search", "insert", "smo", "maintenance",
+                     "scan", "bulkload", "log", "exotic"]),
+    st.integers(0, 10**6), max_size=6)
+
+
+def _stats_from(reads_by_phase, writes_by_phase, time_by_phase):
+    return StorageStats(
+        reads=sum(reads_by_phase.values()),
+        writes=sum(writes_by_phase.values()),
+        elapsed_us=float(sum(time_by_phase.values())),
+        reads_by_phase=dict(reads_by_phase),
+        writes_by_phase=dict(writes_by_phase),
+        time_by_phase={p: float(v) for p, v in time_by_phase.items()},
+    )
+
+
+@settings(max_examples=120, deadline=None)
+@given(_phase_dicts, _phase_dicts, _phase_dicts, _phase_dicts)
+def test_snapshot_diff_round_trips_arbitrary_phase_dicts(
+        early_reads, early_writes, late_reads, late_writes):
+    """diff(snapshot) must recover exactly what accumulated in between —
+    including phases that first appear *after* the snapshot and phases
+    the snapshot saw but the delta period never touched."""
+    earlier = _stats_from(early_reads, early_writes, early_reads)
+    later = _stats_from(
+        {p: early_reads.get(p, 0) + late_reads.get(p, 0)
+         for p in set(early_reads) | set(late_reads)},
+        {p: early_writes.get(p, 0) + late_writes.get(p, 0)
+         for p in set(early_writes) | set(late_writes)},
+        {p: early_reads.get(p, 0) + late_reads.get(p, 0)
+         for p in set(early_reads) | set(late_reads)},
+    )
+    delta = later.diff(earlier.snapshot())
+    for phase in set(late_reads) | set(early_reads):
+        assert delta.reads_by_phase[phase] == late_reads.get(phase, 0)
+        assert delta.time_by_phase[phase] == float(late_reads.get(phase, 0))
+    for phase in set(late_writes) | set(early_writes):
+        assert delta.writes_by_phase[phase] == late_writes.get(phase, 0)
+    assert delta.reads == sum(late_reads.values())
+    assert delta.writes == sum(late_writes.values())
+    # No phantom phases: everything reported came from one of the sides.
+    assert set(delta.reads_by_phase) <= (
+        set(early_reads) | set(late_reads) | set(early_writes)
+        | set(late_writes))
+
+
+def test_diff_reports_phase_only_seen_before_snapshot(device):
+    """A phase present in the snapshot but untouched afterwards shows up
+    as an explicit zero, not a KeyError or a silent omission."""
+    f = device.create_file("f")
+    f.allocate(1)
+    device.set_phase("smo")
+    device.read_block(f, 0)
+    snap = device.stats.snapshot()
+    device.set_phase("scan")
+    device.read_block(f, 0)
+    delta = device.stats.diff(snap)
+    assert delta.reads_by_phase["smo"] == 0
+    assert delta.reads_by_phase["scan"] == 1
+    assert delta.time_by_phase["smo"] == 0.0
+
+
+def test_diff_reports_phase_first_seen_after_snapshot(device):
+    f = device.create_file("f")
+    f.allocate(1)
+    snap = device.stats.snapshot()
+    device.set_phase("maintenance")
+    device.write_block(f, 0, bytes(device.block_size))
+    delta = device.stats.diff(snap)
+    assert delta.writes_by_phase["maintenance"] == 1
+    assert delta.time_by_phase["maintenance"] > 0
