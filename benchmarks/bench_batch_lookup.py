@@ -1,0 +1,31 @@
+"""Batched execution sweep: batch {1, 8, 64, 256} x {HDD, SSD}.
+
+Beyond the paper: the batched engine sorts each lookup group, shares one
+inner descent per leaf, and coalesces contiguous leaf fetches into
+multi-block runs (DESIGN.md Section 10).  Rows are archived both as the
+usual text table and as ``BENCH_batch.json`` for the CI perf-smoke job.
+"""
+
+import json
+
+from conftest import RESULTS_DIR, run_and_emit
+
+
+def test_batch_lookup(benchmark):
+    result = run_and_emit(benchmark, "batch_lookup")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_batch.json").write_text(
+        json.dumps({"experiment": result.experiment_id, "rows": result.rows},
+                   indent=2))
+
+    by_cell = {(r["device"], r["index"], r["batch"]): r for r in result.rows}
+    for device in ("hdd", "ssd"):
+        for index in ("btree", "fiting", "alex"):
+            single = by_cell[(device, index, 1)]
+            batched = by_cell[(device, index, 64)]
+            # Batching is a pure I/O-schedule optimization (results are
+            # validated inside the experiment): it must fetch measurably
+            # fewer blocks and charge fewer positionings per lookup.
+            assert batched["blocks_per_op"] < single["blocks_per_op"]
+            assert batched["positionings_per_op"] < single["positionings_per_op"]
+            assert batched["ops_per_s"] > single["ops_per_s"]

@@ -5,7 +5,8 @@ Usage::
     python -m repro.bench list
     python -m repro.bench run table3
     python -m repro.bench run fig5 --scale 0.5
-    python -m repro.bench all
+    python -m repro.bench run fig3 fig5 --jobs 2
+    python -m repro.bench all --jobs 4
 """
 
 from __future__ import annotations
@@ -19,14 +20,29 @@ from .experiments import experiment_ids, run_experiment
 from .report import format_result
 
 
+def _jobs_worker(task):
+    """Run one experiment in a worker process (top-level for pickling).
+
+    Simulated clocks make every experiment deterministic, so the parallel
+    grid produces exactly the tables the serial loop would.
+    """
+    experiment_id, scale_factor = task
+    scale = default_scale()
+    if scale_factor is not None:
+        scale = scale.scaled(scale_factor)
+    started = time.time()
+    result = run_experiment(experiment_id, scale)
+    return experiment_id, result, time.time() - started
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the paper's tables and figures.")
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list experiment ids")
-    run_parser = sub.add_parser("run", help="run one experiment")
-    run_parser.add_argument("experiment", choices=experiment_ids())
+    run_parser = sub.add_parser("run", help="run one or more experiments")
+    run_parser.add_argument("experiment", nargs="+", choices=experiment_ids())
     run_parser.add_argument("--scale", type=float, default=None,
                             help="multiply all sizes by this factor")
     run_parser.add_argument("--chart", metavar="COLUMN", default=None,
@@ -34,8 +50,15 @@ def main(argv=None) -> int:
     run_parser.add_argument("--trace", metavar="PATH", default=None,
                             help="export an op-level JSONL trace of every index "
                                  "the experiment touches, and print its summary")
+    run_parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                            help="run the experiment grid across N worker "
+                                 "processes (deterministic: same tables as "
+                                 "--jobs 1, in the same order)")
     all_parser = sub.add_parser("all", help="run every experiment")
     all_parser.add_argument("--scale", type=float, default=None)
+    all_parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                            help="run the experiment grid across N worker "
+                                 "processes")
     report_parser = sub.add_parser(
         "report", help="assemble EXPERIMENTS.md from archived benchmark results")
     report_parser.add_argument("--results", default="benchmarks/results")
@@ -60,10 +83,28 @@ def main(argv=None) -> int:
         scale = scale.scaled(args.scale)
 
     trace_path = getattr(args, "trace", None)
-    targets = experiment_ids() if args.command == "all" else [args.experiment]
-    for experiment_id in targets:
-        started = time.time()
-        result = run_experiment(experiment_id, scale, trace_path=trace_path)
+    targets = experiment_ids() if args.command == "all" else list(args.experiment)
+    jobs = max(1, getattr(args, "jobs", 1) or 1)
+    if jobs > 1 and trace_path:
+        parser.error("--trace binds one tracer per process; use --jobs 1")
+
+    def outcomes():
+        if jobs > 1 and len(targets) > 1:
+            import multiprocessing
+
+            with multiprocessing.Pool(min(jobs, len(targets))) as pool:
+                tasks = [(eid, args.scale) for eid in targets]
+                # imap keeps the serial ordering while workers overlap
+                for outcome in pool.imap(_jobs_worker, tasks):
+                    yield outcome
+        else:
+            for experiment_id in targets:
+                started = time.time()
+                result = run_experiment(experiment_id, scale,
+                                        trace_path=trace_path)
+                yield experiment_id, result, time.time() - started
+
+    for experiment_id, result, took in outcomes():
         print(format_result(result))
         if trace_path:
             from .report import format_trace_section
@@ -78,7 +119,7 @@ def main(argv=None) -> int:
                              if c != chart_column][:3]
             print(format_chart(result.rows, label_columns, chart_column))
             print()
-        print(f"[{experiment_id} took {time.time() - started:.1f}s wall clock]\n")
+        print(f"[{experiment_id} took {took:.1f}s wall clock]\n")
     return 0
 
 

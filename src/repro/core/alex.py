@@ -445,6 +445,37 @@ class AlexIndex(DiskIndex):
             return None
         return payload
 
+    def lookup_many(self, keys) -> List[Optional[int]]:
+        """Batched lookups: descend once per distinct key with the inner
+        byte ranges pinned (shared across the sorted batch), fetch the
+        distinct data-node header blocks in one coalesced span, then run
+        the per-key exponential searches against the pinned nodes."""
+        keys = list(keys)
+        if len(keys) <= 1:
+            return [self.lookup(key) for key in keys]
+        unique = sorted(set(keys))
+        results = {}
+        with self.pager.phase("search"), self.pager.batch():
+            node_of = {key: self._descend(key)[0] for key in unique}
+            self.pager.read_span(self._data_file, node_of.values())
+            headers = {}
+            for key in unique:
+                block = node_of[key]
+                header = headers.get(block)
+                if header is None:
+                    header = headers[block] = self._read_data_header(block)
+                if header.num_keys == 0:
+                    results[key] = None
+                    continue
+                slot = self._exponential_search(block, header, key)
+                if slot < 0:
+                    results[key] = None
+                    continue
+                found_key, payload = self._read_entry(block, header.capacity, slot)
+                results[key] = (payload if found_key == key and payload != TOMBSTONE
+                                else None)
+        return [results[key] for key in keys]
+
     # -- insert ----------------------------------------------------------------------
 
     def insert(self, key: int, payload: int) -> None:

@@ -25,11 +25,11 @@ Layouts (little endian):
 from __future__ import annotations
 
 import struct
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..storage import BlockFile, Pager
 from .interface import DiskIndex, KeyPayload
-from .serial import NULL_BLOCK
+from .serial import ENTRY_SIZE, NULL_BLOCK, pack_entries, unpack_u64s
 
 __all__ = ["BPlusTree", "BTreeIndex"]
 
@@ -115,10 +115,18 @@ class BPlusTree:
 
     def _parse_leaf(self, data: bytes) -> _Leaf:
         count, _pad, next_, prev, _pad2 = _LEAF_HEADER.unpack_from(data, 0)
+        rs = self.record_size
+        if rs == ENTRY_SIZE and count:
+            # 16-byte records are exactly the shared u64-pair layout: one
+            # flattened unpack for the keys, plain slices for the datas.
+            flat = unpack_u64s(data, 2 * count, offset=HEADER_SIZE)
+            keys = list(flat[0::2])
+            datas = [bytes(data[HEADER_SIZE + i * rs + 8 : HEADER_SIZE + (i + 1) * rs])
+                     for i in range(count)]
+            return _Leaf(count, next_, prev, keys, datas)
         keys: List[int] = []
         datas: List[bytes] = []
         off = HEADER_SIZE
-        rs = self.record_size
         for _ in range(count):
             keys.append(struct.unpack_from("<Q", data, off)[0])
             datas.append(bytes(data[off + 8 : off + rs]))
@@ -128,8 +136,13 @@ class BPlusTree:
     def _serialize_leaf(self, leaf: _Leaf) -> bytes:
         out = bytearray(self.pager.block_size)
         _LEAF_HEADER.pack_into(out, 0, leaf.count, 0, leaf.next, leaf.prev, 0)
-        off = HEADER_SIZE
         rs = self.record_size
+        if rs == ENTRY_SIZE and leaf.count:
+            payloads = unpack_u64s(b"".join(leaf.datas), leaf.count)
+            out[HEADER_SIZE : HEADER_SIZE + leaf.count * rs] = pack_entries(
+                list(zip(leaf.keys, payloads)))
+            return bytes(out)
+        off = HEADER_SIZE
         for key, data in zip(leaf.keys, leaf.datas):
             struct.pack_into("<Q", out, off, key)
             out[off + 8 : off + rs] = data
@@ -255,6 +268,90 @@ class BPlusTree:
         if leaf.count and leaf.keys[slot] == key:
             return leaf.datas[slot]
         return None
+
+    # -- batched search -------------------------------------------------------
+
+    def _descend_batch(self, keys: List[int]) -> Dict[int, int]:
+        """Map each key to its leaf block, sharing inner fetches.
+
+        Runs inside an open :meth:`Pager.batch` scope: each inner block
+        crossed by any key in the batch is fetched once and pinned, so a
+        sorted key batch pays one descent's worth of inner I/O per
+        distinct root-to-leaf path instead of per key.
+        """
+        leaf_of: Dict[int, int] = {}
+        for key in keys:
+            leaf_block, _ = self._descend(key)
+            leaf_of[key] = leaf_block
+        return leaf_of
+
+    def lookup_many_records(self, keys: Iterable[int]) -> Dict[int, Optional[bytes]]:
+        """Batched exact-match search; returns ``{key: data or None}``.
+
+        Phase 1 descends for every distinct key (inner blocks pinned and
+        shared); phase 2 fetches the distinct leaf blocks in one
+        coalesced :meth:`Pager.read_span`; phase 3 searches each parsed
+        leaf once per resident key.
+        """
+        unique = sorted(set(keys))
+        out: Dict[int, Optional[bytes]] = {}
+        if not unique:
+            return out
+        with self.pager.batch():
+            leaf_of = self._descend_batch(unique)
+            blocks = self.pager.read_span(self.leaf_file, leaf_of.values())
+            parsed: Dict[int, _Leaf] = {}
+            for key in unique:
+                block = leaf_of[key]
+                leaf = parsed.get(block)
+                if leaf is None:
+                    leaf = parsed[block] = self._parse_leaf(blocks[block])
+                slot = self._route(leaf.keys, key)
+                if leaf.count and leaf.keys[slot] == key:
+                    out[key] = leaf.datas[slot]
+                else:
+                    out[key] = None
+        return out
+
+    def floor_records(self, keys: Iterable[int]) -> Dict[int, Optional[Tuple[int, bytes]]]:
+        """Batched :meth:`floor_record`; returns ``{key: (key, data) or None}``."""
+        unique = sorted(set(keys))
+        out: Dict[int, Optional[Tuple[int, bytes]]] = {}
+        if not unique:
+            return out
+        with self.pager.batch():
+            leaf_of = self._descend_batch(unique)
+            blocks = self.pager.read_span(self.leaf_file, leaf_of.values())
+            parsed: Dict[int, _Leaf] = {}
+
+            def leaf_at(block: int) -> _Leaf:
+                leaf = parsed.get(block)
+                if leaf is None:
+                    raw = blocks.get(block)
+                    leaf = self._parse_leaf(raw) if raw is not None \
+                        else self._read_leaf(block)
+                    parsed[block] = leaf
+                return leaf
+
+            for key in unique:
+                leaf = leaf_at(leaf_of[key])
+                if leaf.count == 0:
+                    out[key] = None
+                    continue
+                slot = self._route(leaf.keys, key)
+                if leaf.keys[slot] > key:
+                    # Key is before this leaf: answer sits in the previous
+                    # leaf (fetched on demand — an edge of the key space).
+                    if leaf.prev == NULL_BLOCK:
+                        out[key] = None
+                        continue
+                    leaf = leaf_at(leaf.prev)
+                    if leaf.count == 0:
+                        out[key] = None
+                        continue
+                    slot = leaf.count - 1
+                out[key] = (leaf.keys[slot], leaf.datas[slot])
+        return out
 
     def floor_record(self, key: int) -> Optional[Tuple[int, bytes]]:
         """Rightmost record with key <= ``key`` (FITing segment routing)."""
@@ -421,6 +518,15 @@ class BTreeIndex(DiskIndex):
             data = self.tree.lookup(key)
         return struct.unpack("<Q", data)[0] if data is not None else None
 
+    def lookup_many(self, keys) -> List[Optional[int]]:
+        keys = list(keys)
+        if len(keys) <= 1:
+            return [self.lookup(key) for key in keys]
+        with self.pager.phase("search"):
+            found = self.tree.lookup_many_records(keys)
+        return [struct.unpack("<Q", found[key])[0] if found[key] is not None
+                else None for key in keys]
+
     def insert(self, key: int, payload: int) -> None:
         with self.pager.phase("insert"):
             self.tree.insert(key, struct.pack("<Q", payload))
@@ -443,6 +549,20 @@ class BTreeIndex(DiskIndex):
                 out.append((key, struct.unpack("<Q", data)[0]))
                 if len(out) >= count:
                     break
+        return out
+
+    def scan_range(self, low: int, high: int, batch: int = 256) -> List[KeyPayload]:
+        """Range scan with a single descent: iterate the leaf sibling
+        chain from ``low`` and stop past ``high``, instead of re-routing
+        from the root for every ``batch``-sized chunk."""
+        out: List[KeyPayload] = []
+        if high < low:
+            return out
+        with self.pager.phase("scan"):
+            for key, data in self.tree.iterate_from(low):
+                if key > high:
+                    break
+                out.append((key, struct.unpack("<Q", data)[0]))
         return out
 
     def set_inner_memory_resident(self, resident: bool) -> None:

@@ -274,7 +274,12 @@ class FitingTreeIndex(DiskIndex):
         located = self._locate_descriptor(key)
         if located is None:
             return self._head_buffer_lookup(key)
-        first_key, (seg_block, _extent, data_cap, _buf_cap, slope, intercept) = located
+        first_key, descriptor = located
+        return self._lookup_in_segment(key, first_key, descriptor)
+
+    def _lookup_in_segment(self, key: int, first_key: int,
+                           descriptor: Tuple) -> Optional[int]:
+        seg_block, _extent, data_cap, _buf_cap, slope, intercept = descriptor
         # The descriptor carries everything the data-region probe needs
         # (the data region is immutable between SMOs), so the segment
         # header is only fetched on a miss, when the delta buffer must be
@@ -292,6 +297,30 @@ class FitingTreeIndex(DiskIndex):
         if buffered is not None:
             return None if buffered == TOMBSTONE else buffered
         return None
+
+    def lookup_many(self, keys) -> List[Optional[int]]:
+        """Batched lookups: one coalesced descent through the descriptor
+        tree for the whole sorted batch (:meth:`BPlusTree.floor_records`),
+        then per-segment probes inside a pin scope so keys sharing a
+        segment share its fetched range/header/buffer blocks."""
+        keys = list(keys)
+        if len(keys) <= 1:
+            return [self.lookup(key) for key in keys]
+        unique = sorted(set(keys))
+        results = {}
+        with self.pager.phase("search"), self.pager.batch():
+            routable = ([key for key in unique if key >= self.global_min]
+                        if self.global_min is not None else [])
+            located = self.directory.floor_records(routable) if routable else {}
+            for key in unique:
+                record = located.get(key)
+                if record is None:
+                    results[key] = self._head_buffer_lookup(key)
+                    continue
+                first_key, data = record
+                results[key] = self._lookup_in_segment(
+                    key, first_key, self._unpack_descriptor(data))
+        return [results[key] for key in keys]
 
     def _head_buffer_lookup(self, key: int) -> Optional[int]:
         raw = self.pager.read_block(self._data, 0)

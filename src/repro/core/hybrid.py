@@ -130,12 +130,8 @@ class HybridIndex(DiskIndex):
 
     # -- operations ----------------------------------------------------------------
 
-    def lookup(self, key: int) -> Optional[int]:
-        leaf_block = self._route(key)
-        if leaf_block is None:
-            return None
-        with self.pager.phase("search"):
-            entries, _next = self._read_leaf(leaf_block)
+    @staticmethod
+    def _find_in_entries(entries, key: int) -> Optional[int]:
         lo, hi = 0, len(entries)
         while lo < hi:
             mid = (lo + hi) // 2
@@ -146,6 +142,43 @@ class HybridIndex(DiskIndex):
         if lo < len(entries) and entries[lo][0] == key:
             return entries[lo][1]
         return None
+
+    def lookup(self, key: int) -> Optional[int]:
+        leaf_block = self._route(key)
+        if leaf_block is None:
+            return None
+        with self.pager.phase("search"):
+            entries, _next = self._read_leaf(leaf_block)
+        return self._find_in_entries(entries, key)
+
+    def lookup_many(self, keys) -> List[Optional[int]]:
+        """Batched lookups: route the whole sorted batch through the
+        pinned inner index, then fetch the distinct leaf blocks in one
+        coalesced span and search each parsed leaf once."""
+        keys = list(keys)
+        if len(keys) <= 1:
+            return [self.lookup(key) for key in keys]
+        unique = sorted(set(keys))
+        results = {}
+        with self.pager.batch():
+            leaf_of = {key: self._route(key) for key in unique}
+            wanted = {block for block in leaf_of.values() if block is not None}
+            with self.pager.phase("search"):
+                blocks = self.pager.read_span(self._leaf_file, wanted)
+                parsed = {}
+                for key in unique:
+                    block = leaf_of[key]
+                    if block is None:
+                        results[key] = None
+                        continue
+                    entries = parsed.get(block)
+                    if entries is None:
+                        raw = blocks[block]
+                        count = _LEAF_HEADER.unpack_from(raw, 0)[0]
+                        entries = parsed[block] = unpack_entries(
+                            raw, count, offset=LEAF_HEADER_SIZE)
+                    results[key] = self._find_in_entries(entries, key)
+        return [results[key] for key in keys]
 
     def insert(self, key: int, payload: int) -> None:
         raise NotImplementedError(

@@ -206,24 +206,44 @@ class DiskIndex(abc.ABC):
             previous = key
 
     def lookup_many(self, keys: Iterable[int]) -> List[Optional[int]]:
-        return [self.lookup(key) for key in keys]
+        """Batched point lookups; results match ``[lookup(k) for k in keys]``.
+
+        The base implementation sorts and dedups the key batch and runs
+        the per-key lookups inside one :meth:`Pager.batch` pin scope, so
+        blocks shared between keys (inner nodes, a shared leaf) are
+        fetched once and accesses proceed in key order — physically
+        adjacent leaves ride the sequential rate.  Indexes with separated
+        leaf storage override this with a truly coalesced two-phase path.
+        """
+        keys = list(keys)
+        if len(keys) <= 1:
+            return [self.lookup(key) for key in keys]
+        results = {}
+        with self.pager.batch():
+            for key in sorted(set(keys)):
+                results[key] = self.lookup(key)
+        return [results[key] for key in keys]
 
     def scan_range(self, low: int, high: int, batch: int = 256) -> List[KeyPayload]:
         """All pairs with ``low <= key <= high``, in key order.
 
         A convenience wrapper over :meth:`scan` that pages through the
-        range in ``batch``-sized chunks.
+        range in ``batch``-sized chunks.  The batch pin scope keeps the
+        chunked paging from re-fetching the same inner path per chunk;
+        indexes with a leaf sibling chain override this with a single
+        descent followed by coalesced leaf reads.
         """
         if high < low:
             return []
         out: List[KeyPayload] = []
         start = low
-        while True:
-            chunk = self.scan(start, batch)
-            for key, payload in chunk:
-                if key > high:
+        with self.pager.batch():
+            while True:
+                chunk = self.scan(start, batch)
+                for key, payload in chunk:
+                    if key > high:
+                        return out
+                    out.append((key, payload))
+                if len(chunk) < batch:
                     return out
-                out.append((key, payload))
-            if len(chunk) < batch:
-                return out
-            start = chunk[-1][0] + 1
+                start = chunk[-1][0] + 1

@@ -230,16 +230,33 @@ class LippIndex(DiskIndex):
 
     def lookup(self, key: int) -> Optional[int]:
         with self.pager.phase("search"):
-            block = self.root_block
-            while True:
-                header = self._read_header(block)
-                slot = header.predict(key)
-                flag, slot_key, payload = self._read_slot(block, slot)
-                if flag == SLOT_NULL:
-                    return None
-                if flag == SLOT_DATA:
-                    return payload if slot_key == key else None
-                block = slot_key  # NODE: the key field holds the child block
+            return self._lookup_walk(key)
+
+    def _lookup_walk(self, key: int) -> Optional[int]:
+        block = self.root_block
+        while True:
+            header = self._read_header(block)
+            slot = header.predict(key)
+            flag, slot_key, payload = self._read_slot(block, slot)
+            if flag == SLOT_NULL:
+                return None
+            if flag == SLOT_DATA:
+                return payload if slot_key == key else None
+            block = slot_key  # NODE: the key field holds the child block
+
+    def lookup_many(self, keys) -> List[Optional[int]]:
+        """Batched lookups inside one pin scope: the root header block —
+        which every single lookup re-reads — and all shared upper-node
+        blocks are fetched once for the whole sorted batch."""
+        keys = list(keys)
+        if len(keys) <= 1:
+            return [self.lookup(key) for key in keys]
+        unique = sorted(set(keys))
+        results = {}
+        with self.pager.phase("search"), self.pager.batch():
+            for key in unique:
+                results[key] = self._lookup_walk(key)
+        return [results[key] for key in keys]
 
     # -- insert -----------------------------------------------------------------------
 

@@ -310,6 +310,21 @@ class PgmIndex(DiskIndex):
                 return result
         return None
 
+    def lookup_many(self, keys) -> List[Optional[int]]:
+        """Batched lookups inside one pin scope: the insert buffer's
+        blocks and every component's upper descriptor levels are fetched
+        once for the whole sorted batch instead of once per key."""
+        keys = list(keys)
+        if len(keys) <= 1:
+            return [self.lookup(key) for key in keys]
+        unique = sorted(set(keys))
+        results = {}
+        with self.pager.phase("search"), self.pager.batch():
+            for key in unique:
+                results[key] = self._lookup_raw(key)
+        return [None if results[key] == TOMBSTONE else results[key]
+                for key in keys]
+
     # -- insert -----------------------------------------------------------------------
 
     def insert(self, key: int, payload: int) -> None:

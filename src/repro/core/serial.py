@@ -4,11 +4,16 @@ Every index serializes real bytes into device blocks.  Keys and payloads
 are uint64 (the paper's datasets are uint64 keys with payload = key + 1),
 so one key-payload entry is 16 bytes and a 4 KiB block holds 256 entries
 — exactly the arithmetic behind the paper's Table 2 cost formulas.
+
+The pack/unpack helpers run on every block (de)serialization, so they use
+one flattened ``struct`` call per batch (with the per-count ``Struct``
+objects cached) instead of a Python-level loop of ``pack_into`` calls.
 """
 
 from __future__ import annotations
 
 import struct
+from functools import lru_cache
 from typing import List, Sequence, Tuple
 
 __all__ = [
@@ -30,6 +35,12 @@ NULL_BLOCK = 0xFFFFFFFF
 _ENTRY = struct.Struct("<QQ")
 
 
+@lru_cache(maxsize=1024)
+def _u64_struct(count: int) -> struct.Struct:
+    """Cached ``Struct`` for ``count`` little-endian uint64s."""
+    return struct.Struct(f"<{count}Q")
+
+
 def entries_per_block(block_size: int) -> int:
     """Key-payload entries that fit in one block (the paper's ``B``)."""
     return block_size // ENTRY_SIZE
@@ -37,23 +48,25 @@ def entries_per_block(block_size: int) -> int:
 
 def pack_entries(items: Sequence[Tuple[int, int]]) -> bytes:
     """Serialize (key, payload) pairs to little-endian uint64 pairs."""
-    out = bytearray(len(items) * ENTRY_SIZE)
-    for i, (key, payload) in enumerate(items):
-        _ENTRY.pack_into(out, i * ENTRY_SIZE, key, payload)
-    return bytes(out)
+    if not items:
+        return b""
+    flat: List[int] = []
+    for pair in items:
+        flat.extend(pair)
+    return _u64_struct(len(flat)).pack(*flat)
 
 
 def unpack_entries(data: bytes, count: int, offset: int = 0) -> List[Tuple[int, int]]:
     """Deserialize ``count`` (key, payload) pairs starting at ``offset``."""
-    return [
-        _ENTRY.unpack_from(data, offset + i * ENTRY_SIZE)
-        for i in range(count)
-    ]
+    if count <= 0:
+        return []
+    flat = _u64_struct(2 * count).unpack_from(data, offset)
+    return list(zip(flat[0::2], flat[1::2]))
 
 
 def pack_u64s(values: Sequence[int]) -> bytes:
-    return struct.pack(f"<{len(values)}Q", *values)
+    return _u64_struct(len(values)).pack(*values) if values else b""
 
 
 def unpack_u64s(data: bytes, count: int, offset: int = 0) -> Tuple[int, ...]:
-    return struct.unpack_from(f"<{count}Q", data, offset)
+    return _u64_struct(count).unpack_from(data, offset) if count else ()

@@ -53,6 +53,8 @@ def _blank_span(type_: str) -> dict:
         "pool_hits": 0,
         "pool_misses": 0,
         "reuse_hits": 0,
+        "coalesced_runs": 0,
+        "coalesced_blocks": 0,
         "wal_records": 0,
         "wal_flushes": 0,
     }
@@ -98,6 +100,7 @@ class Tracer:
         """
         if pager not in self._pagers:
             pager.device.on_access = self._on_access
+            pager.device.on_run = self._on_run
             pager.tracer = self
             if pager.buffer_pool is not None:
                 pager.buffer_pool.listener = self
@@ -113,6 +116,7 @@ class Tracer:
         """Detach all hooks; the traced components return to zero overhead."""
         for pager in self._pagers:
             pager.device.on_access = None
+            pager.device.on_run = None
             pager.tracer = None
             if pager.buffer_pool is not None:
                 pager.buffer_pool.listener = None
@@ -174,6 +178,7 @@ class Tracer:
         for k, v in event["us_by_phase"].items():
             agg["us_by_phase"][k] = agg["us_by_phase"].get(k, 0.0) + v
         for field in ("pool_hits", "pool_misses", "reuse_hits",
+                      "coalesced_runs", "coalesced_blocks",
                       "wal_records", "wal_flushes"):
             agg[field] += event[field]
         self.dropped_ops += 1
@@ -204,6 +209,12 @@ class Tracer:
         """Pager served the read from its one-block reuse cache."""
         span = self._current if self._current is not None else self._background
         span["reuse_hits"] += 1
+
+    def _on_run(self, file_name: str, run_length: int) -> None:
+        """BlockDevice hook: a multi-block contiguous run was coalesced."""
+        span = self._current if self._current is not None else self._background
+        span["coalesced_runs"] += 1
+        span["coalesced_blocks"] += run_length
 
     def _on_wal_flush(self, records: int, blocks: int) -> None:
         span = self._current if self._current is not None else self._background

@@ -77,6 +77,40 @@ class BufferPool:
         while len(self._blocks) > self.capacity:
             self._blocks.popitem(last=False)
 
+    # -- bulk API -----------------------------------------------------------
+    # ``read_span`` probes and back-fills whole runs at once; these do the
+    # hit bookkeeping per block (the counters must stay exact) but apply
+    # the policy bookkeeping in one pass per call instead of per probe.
+
+    def _touch(self, key: _Key) -> None:
+        """Policy bookkeeping for a bulk hit (LRU: refresh recency)."""
+        self._blocks.move_to_end(key)
+
+    def get_many(self, file_name: str, block_nos) -> Dict[int, bytes]:
+        """Probe several blocks at once; returns ``{block_no: data}`` hits."""
+        hits: Dict[int, bytes] = {}
+        for block_no in block_nos:
+            data = self._blocks.get((file_name, block_no))
+            if data is None:
+                self._record_miss()
+            else:
+                hits[block_no] = data
+                self._record_hit()
+        for block_no in hits:
+            self._touch((file_name, block_no))
+        return hits
+
+    def put_many(self, file_name: str, blocks: Dict[int, bytes]) -> None:
+        """Insert or refresh several blocks, then run one eviction pass."""
+        if self.capacity == 0 or not blocks:
+            return
+        for block_no, data in blocks.items():
+            key = (file_name, block_no)
+            self._blocks[key] = data
+            self._blocks.move_to_end(key)
+        while len(self._blocks) > self.capacity:
+            self._blocks.popitem(last=False)
+
     def invalidate(self, file_name: str, block_no: int) -> None:
         """Drop one block if present (e.g. the extent holding it was freed)."""
         self._blocks.pop((file_name, block_no), None)
@@ -117,6 +151,18 @@ class FifoBufferPool(BufferPool):
             self._blocks[key] = data  # refresh contents, keep queue position
             return
         self._blocks[key] = data
+        while len(self._blocks) > self.capacity:
+            self._blocks.popitem(last=False)
+
+    def _touch(self, key: _Key) -> None:
+        """FIFO ignores recency — a bulk hit needs no bookkeeping."""
+
+    def put_many(self, file_name: str, blocks: Dict[int, bytes]) -> None:
+        if self.capacity == 0 or not blocks:
+            return
+        for block_no, data in blocks.items():
+            # assignment keeps an existing key's queue position (FIFO refresh)
+            self._blocks[(file_name, block_no)] = data
         while len(self._blocks) > self.capacity:
             self._blocks.popitem(last=False)
 
@@ -167,6 +213,17 @@ class ClockBufferPool(BufferPool):
         self._ring.append(key)
         self._blocks[key] = data
         self._referenced[key] = False
+
+    def _touch(self, key: _Key) -> None:
+        """CLOCK marks the frame referenced; the hand does the rest."""
+        self._referenced[key] = True
+
+    def put_many(self, file_name: str, blocks: Dict[int, bytes]) -> None:
+        # CLOCK eviction advances the hand one frame at a time, so bulk
+        # insertion is inherently per-frame; the bulk entry point still
+        # saves the per-block call overhead on the read_span path.
+        for block_no, data in blocks.items():
+            self.put(file_name, block_no, data)
 
     def invalidate(self, file_name: str, block_no: int) -> None:
         key = (file_name, block_no)

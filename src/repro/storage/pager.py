@@ -20,7 +20,7 @@ The pager layers three caches in front of the device:
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator, Optional, Tuple
+from typing import Dict, Iterable, Iterator, Optional, Tuple
 
 from .buffer_pool import BufferPool
 from .device import BlockDevice, BlockFile
@@ -49,6 +49,11 @@ class Pager:
         self.buffer_pool = buffer_pool
         self.reuse_last_block = reuse_last_block
         self._last: Optional[Tuple[str, int, bytes]] = None
+        #: batch pin cache: while inside :meth:`batch`, every block that
+        #: crosses the pager is pinned here so repeated accesses within
+        #: the batch (shared inner-node descents) are free.
+        self._batch_depth = 0
+        self._batch_cache: Dict[Tuple[str, int], bytes] = {}
         #: optional :class:`repro.obs.Tracer`, set by ``Tracer.bind``;
         #: only consulted on last-block reuse hits (the one cache level
         #: the device and buffer pool cannot see).
@@ -79,6 +84,12 @@ class Pager:
         """Read one block through the cache hierarchy."""
         if file.memory_resident:
             return self.device.read_block(file, block_no)
+        if self._batch_depth:
+            pinned = self._batch_cache.get((file.name, block_no))
+            if pinned is not None:
+                if self.tracer is not None:
+                    self.tracer.reuse_hit()
+                return pinned
         if self.reuse_last_block and self._last is not None:
             name, no, data = self._last
             if name == file.name and no == block_no:
@@ -90,12 +101,16 @@ class Pager:
             if cached is not None:
                 if self.reuse_last_block:
                     self._last = (file.name, block_no, cached)
+                if self._batch_depth:
+                    self._batch_cache[(file.name, block_no)] = cached
                 return cached
         data = self.device.read_block(file, block_no)
         if self.buffer_pool is not None:
             self.buffer_pool.put(file.name, block_no, data)
         if self.reuse_last_block:
             self._last = (file.name, block_no, data)
+        if self._batch_depth:
+            self._batch_cache[(file.name, block_no)] = data
         return data
 
     def write_block(self, file: BlockFile, block_no: int, data: bytes) -> None:
@@ -107,11 +122,101 @@ class Pager:
             self.buffer_pool.put(file.name, block_no, bytes(data))
         if self.reuse_last_block:
             self._last = (file.name, block_no, bytes(data))
+        if self._batch_depth:
+            self._batch_cache[(file.name, block_no)] = bytes(data)
+
+    # -- batched API ---------------------------------------------------------
+
+    @contextmanager
+    def batch(self) -> Iterator[None]:
+        """Pin every block touched until exit (re-entrant).
+
+        Inside the context, any block that crosses the pager stays
+        addressable for free, so a batch of lookups shares one fetch of
+        each inner node instead of re-reading it per key.  Writes refresh
+        the pinned copy, keeping results byte-identical to unbatched
+        execution.  The pin cache is dropped when the outermost batch
+        exits.
+        """
+        self._batch_depth += 1
+        try:
+            yield
+        finally:
+            self._batch_depth -= 1
+            if self._batch_depth == 0:
+                self._batch_cache.clear()
+
+    def read_span(self, file: BlockFile, block_nos: Iterable[int]) -> Dict[int, bytes]:
+        """Read a set of blocks, coalescing cache misses into runs.
+
+        Sorts and dedups ``block_nos``, serves what it can from the
+        last-block cache and buffer pool, fetches the misses in one
+        vectorized :meth:`BlockDevice.read_blocks` call (contiguous
+        misses are charged one positioning cost per run), back-fills the
+        pool, and returns ``{block_no: data}``.
+        """
+        wanted = sorted(set(block_nos))
+        if not wanted:
+            return {}
+        if file.memory_resident:
+            return {no: self.device.read_block(file, no) for no in wanted}
+        out: Dict[int, bytes] = {}
+        misses = []
+        for block_no in wanted:
+            if self._batch_depth:
+                pinned = self._batch_cache.get((file.name, block_no))
+                if pinned is not None:
+                    if self.tracer is not None:
+                        self.tracer.reuse_hit()
+                    out[block_no] = pinned
+                    continue
+            # The one-block reuse cache can only serve the lowest block of
+            # the span: a serial ascending loop overwrites ``_last`` before
+            # reaching any later block, and the span must charge exactly
+            # what that loop would (cost-model parity, Section 6.5).
+            if (self.reuse_last_block and self._last is not None
+                    and block_no == wanted[0]):
+                name, no, data = self._last
+                if name == file.name and no == block_no:
+                    if self.tracer is not None:
+                        self.tracer.reuse_hit()
+                    out[block_no] = data
+                    continue
+            misses.append(block_no)
+        if misses and self.buffer_pool is not None:
+            hits = self.buffer_pool.get_many(file.name, misses)
+            if hits:
+                out.update(hits)
+                misses = [no for no in misses if no not in hits]
+        if misses:
+            payloads = self.device.read_blocks(file, misses)
+            fetched = dict(zip(misses, payloads))
+            out.update(fetched)
+            if self.buffer_pool is not None:
+                self.buffer_pool.put_many(file.name, fetched)
+            if self.reuse_last_block:
+                top = misses[-1]
+                self._last = (file.name, top, fetched[top])
+        if self._batch_depth:
+            for block_no, data in out.items():
+                self._batch_cache[(file.name, block_no)] = data
+        return out
+
+    def prefetch(self, file: BlockFile, block_nos: Iterable[int]) -> int:
+        """Warm the caches with ``block_nos``; returns blocks fetched from disk."""
+        before = self.device.stats.reads
+        self.read_span(file, block_nos)
+        return self.device.stats.reads - before
 
     # -- byte-level API ------------------------------------------------------
 
     def read_bytes(self, file: BlockFile, offset: int, length: int) -> bytes:
-        """Read ``length`` bytes starting at ``offset``, fetching covering blocks."""
+        """Read ``length`` bytes starting at ``offset``, fetching covering blocks.
+
+        Multi-block ranges go through :meth:`read_span`, so a range that
+        misses every cache is charged one positioning plus sequential
+        transfers rather than a seek per block.
+        """
         if length < 0 or offset < 0:
             raise ValueError(f"invalid byte range offset={offset} length={length}")
         if length == 0:
@@ -119,8 +224,11 @@ class Pager:
         bs = self.block_size
         first = offset // bs
         last = (offset + length - 1) // bs
-        chunks = [self.read_block(file, no) for no in range(first, last + 1)]
-        blob = b"".join(chunks)
+        if last == first:
+            blob = self.read_block(file, first)
+        else:
+            span = self.read_span(file, range(first, last + 1))
+            blob = b"".join(span[no] for no in range(first, last + 1))
         start = offset - first * bs
         return blob[start : start + length]
 
@@ -152,6 +260,9 @@ class Pager:
         """Drop cached blocks of a file (call before/after deleting it)."""
         if self._last is not None and self._last[0] == file_name:
             self._last = None
+        if self._batch_cache:
+            for key in [k for k in self._batch_cache if k[0] == file_name]:
+                del self._batch_cache[key]
         if self.buffer_pool is not None:
             self.buffer_pool.invalidate_file(file_name)
 

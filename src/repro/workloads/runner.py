@@ -63,6 +63,12 @@ class RunResult:
     log_blocks_written: int = 0  # device blocks written under the "log" phase
     crashed_at_op: Optional[int] = None  # op index a fault injector fired at
     recovery_us: float = 0.0   # filled by callers that run recovery afterwards
+    # -- batched execution (see run_workload's ``batch`` argument) --
+    batch: int = 1             # lookup group size the run executed with
+    read_positionings: int = 0   # reads charged the random-positioning cost
+    write_positionings: int = 0  # writes charged the random-positioning cost
+    coalesced_runs: int = 0      # multi-block contiguous runs coalesced
+    coalesced_blocks: int = 0    # blocks covered by those runs
     # -- observability (histogram digests: count/mean/p50/p90/p99/max) --
     p90_latency_us: float = 0.0
     max_latency_us: float = 0.0
@@ -80,6 +86,13 @@ class RunResult:
         return self.time_by_phase_us.get(phase, 0.0) / self.num_ops
 
     @property
+    def positionings_per_op(self) -> float:
+        """Accesses charged the random-positioning cost, per operation."""
+        if self.num_ops == 0:
+            return 0.0
+        return (self.read_positionings + self.write_positionings) / self.num_ops
+
+    @property
     def ops_per_log_flush(self) -> float:
         """Average operations amortized over one group commit."""
         if self.log_flushes == 0:
@@ -95,11 +108,34 @@ def bulk_load_timed(index: DiskIndex, items: Sequence[Tuple[int, int]]) -> float
     return stats.elapsed_us - before
 
 
+def _lookup_groups(ops: Sequence[Operation], batch: int):
+    """Yield ``(start_index, [ops])`` units: runs of consecutive lookups
+    capped at ``batch``, and every other operation as a singleton — so the
+    stream executes in its original order."""
+    pending_start = 0
+    pending: list = []
+    for i, op in enumerate(ops):
+        if op[0] == "lookup":
+            if not pending:
+                pending_start = i
+            pending.append(op)
+            if len(pending) >= batch:
+                yield pending_start, pending
+                pending = []
+        else:
+            if pending:
+                yield pending_start, pending
+                pending = []
+            yield i, [op]
+    if pending:
+        yield pending_start, pending
+
+
 def run_workload(index: DiskIndex, ops: Sequence[Operation], workload: str = "",
                  scan_length: int = 100, keep_latencies: bool = False,
                  validate: bool = False,
                  fault_injector: Optional[FaultInjector] = None,
-                 tracer=None) -> RunResult:
+                 tracer=None, batch: int = 1) -> RunResult:
     """Execute ``ops`` against a loaded index and collect metrics.
 
     Args:
@@ -121,11 +157,23 @@ def run_workload(index: DiskIndex, ops: Sequence[Operation], workload: str = "",
             result gains per-phase and per-op-type histogram digests.
             With no tracer, every pre-existing metric is computed exactly
             as before — the traced and untraced counters are identical.
+        batch: group up to this many *consecutive lookups* into one
+            :meth:`DiskIndex.lookup_many` call (the batched execution
+            engine).  Inserts and scans flush the pending group first, so
+            operation ordering — and therefore every result — is
+            identical to ``batch=1``.  A group's simulated cost is shared
+            equally across its operations for latency reporting.  With a
+            tracer, one span covers each group.  Incompatible with
+            ``fault_injector`` (crash-at-op semantics are per-op).
 
     Mutating operations go through the ``durable_*`` log-then-apply path
     whenever the index has a WAL attached; on a clean finish the WAL's
     tail batch is flushed so the run ends fully durable.
     """
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
+    if batch > 1 and fault_injector is not None:
+        raise ValueError("fault injection is per-op; run it with batch=1")
     pager: Pager = index.pager
     device = pager.device
     wal = index.wal
@@ -142,42 +190,93 @@ def run_workload(index: DiskIndex, ops: Sequence[Operation], workload: str = "",
     crashed_at: Optional[int] = None
 
     try:
-        for i, (kind, key) in enumerate(ops):
-            if fault_injector is not None:
-                fault_injector.maybe_crash(i)
-            if tracer is not None:
-                tracer.begin_op(kind, key, i)
-            before_us = device.stats.elapsed_us
-            if kind == "lookup":
-                result = index.lookup(key)
-                if validate and result != key + 1:
-                    raise AssertionError(
-                        f"lookup({key}) returned {result}, expected {key + 1}")
-            elif kind == "insert":
-                if wal is not None:
-                    index.durable_insert(key, key + 1)
+        if batch == 1:
+            for i, (kind, key) in enumerate(ops):
+                if fault_injector is not None:
+                    fault_injector.maybe_crash(i)
+                if tracer is not None:
+                    tracer.begin_op(kind, key, i)
+                before_us = device.stats.elapsed_us
+                if kind == "lookup":
+                    result = index.lookup(key)
+                    if validate and result != key + 1:
+                        raise AssertionError(
+                            f"lookup({key}) returned {result}, expected {key + 1}")
+                elif kind == "insert":
+                    if wal is not None:
+                        index.durable_insert(key, key + 1)
+                    else:
+                        index.insert(key, key + 1)
+                elif kind == "scan":
+                    result = index.scan(key, scan_length)
+                    if validate and (not result or result[0][0] != key):
+                        raise AssertionError(f"scan({key}) did not start at the key")
                 else:
-                    index.insert(key, key + 1)
-            elif kind == "scan":
-                result = index.scan(key, scan_length)
-                if validate and (not result or result[0][0] != key):
-                    raise AssertionError(f"scan({key}) did not start at the key")
-            else:
-                raise ValueError(f"unknown operation kind {kind!r}")
-            latencies[i] = device.stats.elapsed_us - before_us
-            if tracer is not None:
-                event = tracer.end_op()
-                for phase, us in event["us_by_phase"].items():
-                    hist = phase_hists.get(phase)
+                    raise ValueError(f"unknown operation kind {kind!r}")
+                latencies[i] = device.stats.elapsed_us - before_us
+                if tracer is not None:
+                    event = tracer.end_op()
+                    for phase, us in event["us_by_phase"].items():
+                        hist = phase_hists.get(phase)
+                        if hist is None:
+                            hist = phase_hists[phase] = Histogram(latency_bounds())
+                        hist.record(us)
+                    blocks = (sum(event["reads"].values())
+                              + sum(event["writes"].values()))
+                    hist = io_hists.get(kind)
                     if hist is None:
-                        hist = phase_hists[phase] = Histogram(latency_bounds())
-                    hist.record(us)
-                blocks = (sum(event["reads"].values())
-                          + sum(event["writes"].values()))
-                hist = io_hists.get(kind)
-                if hist is None:
-                    hist = io_hists[kind] = Histogram(io_bounds())
-                hist.record(blocks)
+                        hist = io_hists[kind] = Histogram(io_bounds())
+                    hist.record(blocks)
+        else:
+            for unit_start, group in _lookup_groups(ops, batch):
+                kind, key = group[0]
+                size = len(group)
+                if tracer is not None:
+                    tracer.begin_op(kind, key, unit_start)
+                before_us = device.stats.elapsed_us
+                if kind == "lookup" and size > 1:
+                    keys = [k for _, k in group]
+                    results = index.lookup_many(keys)
+                    if validate:
+                        for k, result in zip(keys, results):
+                            if result != k + 1:
+                                raise AssertionError(
+                                    f"lookup({k}) returned {result}, "
+                                    f"expected {k + 1}")
+                elif kind == "lookup":
+                    result = index.lookup(key)
+                    if validate and result != key + 1:
+                        raise AssertionError(
+                            f"lookup({key}) returned {result}, expected {key + 1}")
+                elif kind == "insert":
+                    if wal is not None:
+                        index.durable_insert(key, key + 1)
+                    else:
+                        index.insert(key, key + 1)
+                elif kind == "scan":
+                    result = index.scan(key, scan_length)
+                    if validate and (not result or result[0][0] != key):
+                        raise AssertionError(f"scan({key}) did not start at the key")
+                else:
+                    raise ValueError(f"unknown operation kind {kind!r}")
+                # the group's simulated cost, shared evenly per op
+                share = (device.stats.elapsed_us - before_us) / size
+                latencies[unit_start : unit_start + size] = share
+                if tracer is not None:
+                    event = tracer.end_op()
+                    for phase, us in event["us_by_phase"].items():
+                        hist = phase_hists.get(phase)
+                        if hist is None:
+                            hist = phase_hists[phase] = Histogram(latency_bounds())
+                        for _ in range(size):
+                            hist.record(us / size)
+                    blocks = (sum(event["reads"].values())
+                              + sum(event["writes"].values()))
+                    hist = io_hists.get(kind)
+                    if hist is None:
+                        hist = io_hists[kind] = Histogram(io_bounds())
+                    for _ in range(size):
+                        hist.record(blocks / size)
     except CrashError as crash:
         crashed_at = crash.op_index
         executed = crash.op_index
@@ -235,6 +334,11 @@ def run_workload(index: DiskIndex, ops: Sequence[Operation], workload: str = "",
         log_flushes=(wal.flushes - log_flushes_before) if wal is not None else 0,
         log_blocks_written=delta.writes_by_phase.get("log", 0),
         crashed_at_op=crashed_at,
+        batch=batch,
+        read_positionings=delta.read_positionings,
+        write_positionings=delta.write_positionings,
+        coalesced_runs=delta.coalesced_runs,
+        coalesced_blocks=delta.coalesced_blocks,
         p90_latency_us=float(np.percentile(latencies, 90)) if executed else 0.0,
         max_latency_us=float(latencies.max()) if executed else 0.0,
         op_latency_histograms={k: h.summary() for k, h in op_hists.items()},
