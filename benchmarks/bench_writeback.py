@@ -1,0 +1,37 @@
+"""Write-back pool sweep: {write-through, write-back} x {HDD, SSD}.
+
+Beyond the paper: the write-back pager absorbs block writes as dirty
+pool frames and flushes them sorted at the phase boundary, so adjacent
+SMO rewrites merge into contiguous runs charged one positioning each
+(DESIGN.md Section 11).  Rows are archived both as the usual text table
+and as ``BENCH_writeback.json`` for the CI perf-smoke job.
+"""
+
+import json
+
+from conftest import RESULTS_DIR, run_and_emit
+
+
+def test_write_back(benchmark):
+    result = run_and_emit(benchmark, "write_back")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_writeback.json").write_text(
+        json.dumps({"experiment": result.experiment_id, "rows": result.rows},
+                   indent=2))
+
+    by_cell = {(r["device"], r["workload"], r["index"], r["mode"]): r
+               for r in result.rows}
+    for device in ("hdd", "ssd"):
+        for workload in ("write_heavy", "balanced"):
+            for index in ("btree", "alex", "lipp"):
+                wt = by_cell[(device, workload, index, "through")]
+                wb = by_cell[(device, workload, index, "back")]
+                # Write-back is a pure I/O-schedule optimization (results
+                # are validated inside the experiment): it must never
+                # charge more write positionings than write-through, and
+                # on the write-heavy workload the coalesced flush runs
+                # must cut them by at least 2x (the PR's acceptance bar).
+                assert wb["write_positionings"] <= wt["write_positionings"]
+                if workload == "write_heavy":
+                    assert wb["write_positionings"] * 2 <= wt["write_positionings"]
+                assert wb["ops_per_s"] > wt["ops_per_s"]

@@ -15,7 +15,7 @@ import argparse
 import sys
 import time
 
-from .config import default_scale
+from .config import default_scale, set_write_back
 from .experiments import experiment_ids, run_experiment
 from .report import format_result
 
@@ -26,10 +26,11 @@ def _jobs_worker(task):
     Simulated clocks make every experiment deterministic, so the parallel
     grid produces exactly the tables the serial loop would.
     """
-    experiment_id, scale_factor = task
+    experiment_id, scale_factor, write_back_blocks = task
     scale = default_scale()
     if scale_factor is not None:
         scale = scale.scaled(scale_factor)
+    set_write_back(write_back_blocks)
     started = time.time()
     result = run_experiment(experiment_id, scale)
     return experiment_id, result, time.time() - started
@@ -54,11 +55,21 @@ def main(argv=None) -> int:
                             help="run the experiment grid across N worker "
                                  "processes (deterministic: same tables as "
                                  "--jobs 1, in the same order)")
+    run_parser.add_argument("--write-back", type=int, default=0, nargs="?",
+                            const=128, metavar="BLOCKS",
+                            help="run every index with a write-back pager "
+                                 "over a pool of at least BLOCKS frames "
+                                 "(bare flag: 128); dirty pages flush in "
+                                 "coalesced runs at phase boundaries")
     all_parser = sub.add_parser("all", help="run every experiment")
     all_parser.add_argument("--scale", type=float, default=None)
     all_parser.add_argument("--jobs", type=int, default=1, metavar="N",
                             help="run the experiment grid across N worker "
                                  "processes")
+    all_parser.add_argument("--write-back", type=int, default=0, nargs="?",
+                            const=128, metavar="BLOCKS",
+                            help="run every index with a write-back pager "
+                                 "over a pool of at least BLOCKS frames")
     report_parser = sub.add_parser(
         "report", help="assemble EXPERIMENTS.md from archived benchmark results")
     report_parser.add_argument("--results", default="benchmarks/results")
@@ -87,13 +98,16 @@ def main(argv=None) -> int:
     jobs = max(1, getattr(args, "jobs", 1) or 1)
     if jobs > 1 and trace_path:
         parser.error("--trace binds one tracer per process; use --jobs 1")
+    write_back_blocks = getattr(args, "write_back", 0) or 0
+    set_write_back(write_back_blocks)
 
     def outcomes():
         if jobs > 1 and len(targets) > 1:
             import multiprocessing
 
             with multiprocessing.Pool(min(jobs, len(targets))) as pool:
-                tasks = [(eid, args.scale) for eid in targets]
+                tasks = [(eid, args.scale, write_back_blocks)
+                         for eid in targets]
                 # imap keeps the serial ordering while workers overlap
                 for outcome in pool.imap(_jobs_worker, tasks):
                     yield outcome

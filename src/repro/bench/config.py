@@ -17,11 +17,12 @@ from typing import Optional
 from ..core import DiskIndex, make_index
 from ..datasets import make_dataset
 from ..durability import WriteAheadLog
-from ..storage import HDD, SSD, BlockDevice, BufferPool, DiskProfile, Pager
+from ..storage import (HDD, SSD, BlockDevice, DiskProfile, Pager,
+                       make_buffer_pool)
 from ..workloads import WORKLOADS, build_workload, bulk_load_timed
 
 __all__ = ["Scale", "default_scale", "IndexSetup", "fresh_index", "PROFILES",
-           "tracing", "set_active_tracer"]
+           "tracing", "set_active_tracer", "set_write_back"]
 
 PROFILES = {"hdd": HDD, "ssd": SSD}
 
@@ -30,6 +31,23 @@ PROFILES = {"hdd": HDD, "ssd": SSD}
 #: Experiments build one device per cell, so the tracer accumulates
 #: totals across every device it gets bound to.
 _ACTIVE_TRACER = None
+
+#: When > 0, :func:`fresh_index` builds every index with a write-back
+#: pager over a buffer pool of at least this many blocks — the mechanism
+#: behind ``python -m repro.bench run X --write-back N``.  0 keeps each
+#: call's own arguments (the default write-through).
+_WRITE_BACK_BLOCKS = 0
+
+
+def set_write_back(blocks: int) -> None:
+    """Force write-back (with >= ``blocks`` pool frames) on fresh_index.
+
+    Pass 0 to clear.  Cells that already request a larger pool keep it.
+    """
+    global _WRITE_BACK_BLOCKS
+    if blocks < 0:
+        raise ValueError(f"blocks must be non-negative, got {blocks}")
+    _WRITE_BACK_BLOCKS = blocks
 
 
 def set_active_tracer(tracer) -> None:
@@ -105,7 +123,9 @@ def fresh_index(index_name: str, dataset: str, workload: str, scale: Scale,
                 profile: DiskProfile = HDD, block_size: Optional[int] = None,
                 buffer_blocks: int = 0, index_params: Optional[dict] = None,
                 inner_memory_resident: bool = False, with_wal: bool = False,
-                wal_group_commit: Optional[int] = None) -> IndexSetup:
+                wal_group_commit: Optional[int] = None,
+                write_back: bool = False, buffer_policy: str = "lru",
+                flush_watermark: Optional[int] = None) -> IndexSetup:
     """Build a device + index + workload for one experiment cell.
 
     ``with_wal`` attaches a write-ahead log (on the same device, as in a
@@ -113,6 +133,13 @@ def fresh_index(index_name: str, dataset: str, workload: str, scale: Scale,
     ``scale.group_commit`` operations; ``wal_group_commit`` overrides
     that batch size (and implies ``with_wal``).  The default is no
     logging — the paper's setting.
+
+    ``write_back`` buffers writes as dirty pool frames and flushes them
+    in coalesced runs (requires ``buffer_blocks > 0``); ``buffer_policy``
+    picks the pool's replacement policy and ``flush_watermark``
+    optionally bounds how many dirty pages accumulate before a forced
+    flush.  The module-level :func:`set_write_back` override (the CLI's
+    ``--write-back N``) forces write-back on every cell.
     """
     spec = WORKLOADS[workload]
     if spec.bulk_all:
@@ -130,15 +157,26 @@ def fresh_index(index_name: str, dataset: str, workload: str, scale: Scale,
     keys = make_dataset(dataset, n_keys, seed=scale.seed)
     bulk_items, ops = build_workload(spec, keys, num_ops, seed=scale.seed)
 
+    if _WRITE_BACK_BLOCKS > 0:
+        write_back = True
+        buffer_blocks = max(buffer_blocks, _WRITE_BACK_BLOCKS)
     device = BlockDevice(block_size or scale.block_size, profile)
-    pool = BufferPool(buffer_blocks) if buffer_blocks > 0 else None
-    pager = Pager(device, buffer_pool=pool)
+    pool = (make_buffer_pool(buffer_blocks, buffer_policy)
+            if buffer_blocks > 0 else None)
+    pager = Pager(device, buffer_pool=pool, write_back=write_back,
+                  flush_watermark=flush_watermark)
     index = make_index(index_name, pager, **(index_params or {}))
     if _ACTIVE_TRACER is not None:
         # Attach before the bulk load so its I/O lands in the trace's
         # background record and the totals reconcile with device stats.
         index.attach_tracer(_ACTIVE_TRACER)
     bulkload_us = bulk_load_timed(index, bulk_items)
+    if write_back:
+        # Bulk load is a workload phase: its boundary flushes the dirty
+        # pages, and the coalesced flush cost belongs to the bulk load.
+        before_us = device.stats.elapsed_us
+        pager.flush()
+        bulkload_us += device.stats.elapsed_us - before_us
     if inner_memory_resident:
         index.set_inner_memory_resident(True)
     wal = None

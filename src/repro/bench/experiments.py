@@ -517,6 +517,57 @@ def exp_batch_lookup(scale: Optional[Scale] = None,
 
 
 # ---------------------------------------------------------------------------
+# Write-back buffer pool — coalesced dirty-page flushing (beyond the paper)
+# ---------------------------------------------------------------------------
+
+def exp_write_back(scale: Optional[Scale] = None,
+                   buffer_blocks: int = 512) -> ExperimentResult:
+    """Write-Heavy and Balanced with the pool in write-through vs
+    write-back mode: write-back absorbs block writes as dirty frames and
+    flushes them sorted at the run's end, so adjacent SMO rewrites merge
+    into contiguous runs charged one positioning each (DESIGN.md
+    Section 11).
+
+    Both modes use the *same* pool size, so the only difference is when
+    (and how coalesced) the writes reach the device.  Reported per cell:
+    throughput, write positionings, total writes, explicit flushes and
+    dirty evictions.  Every run uses ``validate=True`` — buffered writes
+    must never change an answer.
+    """
+    scale = scale or default_scale()
+    result = ExperimentResult(
+        "write_back",
+        "Write-back pool: write positionings, write-through vs write-back")
+    for profile_name in ("hdd", "ssd"):
+        for workload in ("write_heavy", "balanced"):
+            for name in ("btree", "alex", "lipp"):
+                for mode in ("through", "back"):
+                    setup = fresh_index(
+                        name, "ycsb", workload, scale,
+                        profile=PROFILES[profile_name],
+                        buffer_blocks=buffer_blocks,
+                        write_back=(mode == "back"))
+                    res = run_workload(setup.index, setup.ops,
+                                       workload=workload, validate=True)
+                    result.rows.append({
+                        "device": profile_name, "workload": workload,
+                        "index": name, "mode": mode,
+                        "ops_per_s": round(res.throughput_ops_per_s, 1),
+                        "write_positionings": res.write_positionings,
+                        "writes": int(res.blocks_written_per_op
+                                      * max(res.num_ops, 1) + 0.5),
+                        "flushes": res.flushes,
+                        "dirty_evictions": res.dirty_evictions,
+                    })
+    result.notes = (
+        "Same pool capacity in both modes; write-back defers writes to "
+        "sorted coalesced flush runs (one positioning per contiguous run) "
+        "while write-through pays one positioning per non-sequential "
+        "block write. Results validated against expected payloads.")
+    return result
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -538,6 +589,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig14": exp_fig14_overall,
     "durability": exp_durability,
     "batch_lookup": exp_batch_lookup,
+    "write_back": exp_write_back,
 }
 
 

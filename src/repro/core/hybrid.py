@@ -97,6 +97,7 @@ class HybridIndex(DiskIndex):
         first = self._leaf_file.allocate(num_leaves)
         directory: List[KeyPayload] = []
         bs = self.pager.block_size
+        writes: List[tuple] = []
         for i in range(num_leaves):
             chunk = items[i * per_leaf : (i + 1) * per_leaf]
             next_ = first + i + 1 if i + 1 < num_leaves else NULL_BLOCK
@@ -105,9 +106,12 @@ class HybridIndex(DiskIndex):
             _LEAF_HEADER.pack_into(block, 0, len(chunk), 0, next_, prev, 0)
             block[LEAF_HEADER_SIZE : LEAF_HEADER_SIZE + len(chunk) * ENTRY_SIZE] = (
                 pack_entries(chunk))
-            self.pager.write_block(self._leaf_file, first + i, bytes(block))
+            writes.append((first + i, bytes(block)))
             if chunk:
                 directory.append((chunk[-1][0], first + i))
+        # One coalesced call: the freshly allocated leaves are contiguous,
+        # so the whole image is charged a single positioning run.
+        self.pager.write_blocks(self._leaf_file, writes)
         self.num_leaves = num_leaves
         return directory
 

@@ -90,8 +90,11 @@ class DiskIndex(abc.ABC):
         ``durable_*`` methods; the plain mutation methods stay unlogged
         (bulk loads and recovery replay go through those, since their
         effects are captured by the checkpoint / are the redo itself).
+        The WAL also becomes the pager's log-before-data barrier: under
+        write-back, no dirty page flushes ahead of its covering records.
         """
         self.wal = wal
+        self.pager.set_wal(wal)
         if self.tracer is not None:
             self.tracer.bind_wal(wal)
 
@@ -111,6 +114,17 @@ class DiskIndex(abc.ABC):
         if self.wal is not None:
             self.wal.append("delete", key)
         return self.delete(key)
+
+    def flush(self) -> int:
+        """Force buffered writes to the device: WAL tail, then dirty pages.
+
+        A no-op (returning 0) for write-through configurations; under a
+        write-back pager this is the explicit flush point callers use at
+        phase boundaries.  Returns the number of dirty blocks written.
+        """
+        if self.wal is not None:
+            self.wal.flush()
+        return self.pager.flush()
 
     # -- observability -----------------------------------------------------------
 

@@ -27,7 +27,12 @@ _TRAILER = struct.Struct("<I")
 
 
 def save_index(index: DiskIndex, target: Union[str, BinaryIO]) -> None:
-    """Persist an index (device image + meta) to ``target``."""
+    """Persist an index (device image + meta) to ``target``.
+
+    The index's pager is handed to :func:`save_device` so a write-back
+    configuration flushes its dirty pages (in coalesced runs) before the
+    device blocks are imaged — the image always reflects every write.
+    """
     meta = {
         "kind": index.name,
         "params": index.init_params(),
@@ -36,7 +41,7 @@ def save_index(index: DiskIndex, target: Union[str, BinaryIO]) -> None:
     own = isinstance(target, str)
     stream: BinaryIO = open(target, "wb") if own else target
     try:
-        save_device(index.pager.device, stream)
+        save_device(index.pager.device, stream, pager=index.pager)
         raw = json.dumps(meta).encode("utf-8")
         stream.write(_TRAILER.pack(len(raw)))
         stream.write(raw)

@@ -36,8 +36,9 @@ class CrashReport:
     """What the crash destroyed."""
 
     op_index: int
-    dropped_records: int   # group-commit buffer records lost with RAM
-    torn_block: bool       # last log block left half-written
+    dropped_records: int        # group-commit buffer records lost with RAM
+    torn_block: bool            # last log block left half-written
+    dropped_dirty_pages: int = 0  # write-back pages lost before any flush
 
 
 class FaultInjector:
@@ -74,10 +75,14 @@ class FaultInjector:
             self.fired = True
             raise CrashError(op_index)
 
-    def crash(self, wal: Optional[WriteAheadLog], op_index: int = 0) -> CrashReport:
+    def crash(self, wal: Optional[WriteAheadLog], op_index: int = 0,
+              pager=None) -> CrashReport:
         """Apply the crash's storage effects: drop the unflushed group-commit
-        buffer and (optionally) tear the tail log block."""
+        buffer, drop any write-back dirty pages still in RAM, and
+        (optionally) tear the tail log block."""
         self.fired = True
         dropped = wal.drop_unflushed() if wal is not None else 0
+        dropped_pages = pager.drop_dirty() if pager is not None else 0
         torn = bool(self.torn_tail and wal is not None and wal.tear_tail_block())
-        return CrashReport(op_index=op_index, dropped_records=dropped, torn_block=torn)
+        return CrashReport(op_index=op_index, dropped_records=dropped,
+                           torn_block=torn, dropped_dirty_pages=dropped_pages)

@@ -64,12 +64,16 @@ def take_checkpoint(index: DiskIndex, wal: Optional[WriteAheadLog] = None) -> Ch
     """Snapshot the index (device image + meta block) as a checkpoint.
 
     The WAL is flushed first so the checkpoint LSN is a durable point;
-    records at or below the LSN are skipped during replay.
+    records at or below the LSN are skipped during replay.  Under a
+    write-back pager the dirty pages are then flushed too (a checkpoint
+    is one of the three flush points), so the imaged device holds every
+    buffered write — log strictly before data.
     """
     if wal is None:
         wal = getattr(index, "wal", None)
     if wal is not None:
         wal.flush()
+    index.pager.flush()
     buffer = io.BytesIO()
     save_index(index, buffer)
     return Checkpoint(image=buffer.getvalue(),

@@ -80,6 +80,10 @@ class WriteAheadLog:
         self.pager = pager
         self.group_commit = group_commit
         self.file = pager.device.get_or_create_file(file_name)
+        # Register as the pager's log-before-data barrier: under
+        # write-back, no dirty data page reaches the device before the
+        # WAL records covering it are durable.
+        pager.set_wal(self)
         self.buffer: List[bytes] = []
         self.next_seqno = 1
         self.durable_seqno = 0
@@ -99,6 +103,17 @@ class WriteAheadLog:
     def pending(self) -> int:
         """Appended but not yet durable records (lost if we crash now)."""
         return len(self.buffer)
+
+    @property
+    def current_lsn(self) -> int:
+        """Highest sequence number appended so far (durable or not).
+
+        Because the index logs before it applies, this LSN covers every
+        page write that has happened up to now — the write-back pager
+        stamps dirty pages with it and refuses to flush them until
+        ``durable_seqno`` catches up.
+        """
+        return self.next_seqno - 1
 
     @property
     def log_blocks(self) -> int:
@@ -129,17 +144,22 @@ class WriteAheadLog:
             return
         per_block = self.records_per_block
         bs = self.pager.block_size
-        blocks_written = 0
+        pairs = []
+        for start in range(0, len(self.buffer), per_block):
+            chunk = self.buffer[start:start + per_block]
+            area = b"".join(chunk)
+            block = bytearray(bs)
+            _BLOCK_HEADER.pack_into(block, 0, zlib.crc32(area), len(chunk))
+            block[_BLOCK_HEADER.size:_BLOCK_HEADER.size + len(area)] = area
+            pairs.append((self.file.allocate(1), bytes(block)))
+        # One coalesced device write, bypassing the pager's caches: the
+        # blocks are freshly allocated (nothing cached can alias them),
+        # and going through the buffer pool here could evict a dirty data
+        # frame whose log-before-data barrier would re-enter this very
+        # flush while ``durable_seqno`` is still stale.
         with self.pager.phase("log"):
-            for start in range(0, len(self.buffer), per_block):
-                chunk = self.buffer[start:start + per_block]
-                area = b"".join(chunk)
-                block = bytearray(bs)
-                _BLOCK_HEADER.pack_into(block, 0, zlib.crc32(area), len(chunk))
-                block[_BLOCK_HEADER.size:_BLOCK_HEADER.size + len(area)] = area
-                block_no = self.file.allocate(1)
-                self.pager.write_block(self.file, block_no, bytes(block))
-                blocks_written += 1
+            self.pager.device.write_blocks(self.file, pairs)
+        blocks_written = len(pairs)
         self.durable_seqno = self.next_seqno - 1
         self.flushes += 1
         records = len(self.buffer)

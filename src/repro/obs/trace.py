@@ -39,7 +39,10 @@ from typing import Deque, Dict, Iterator, List, Optional
 __all__ = ["Tracer", "TRACE_SCHEMA_VERSION"]
 
 #: Bumped whenever the exported record layout changes.
-TRACE_SCHEMA_VERSION = 1
+#: 2: added per-span ``flushes``/``flushed_blocks``/``dirty_evictions``
+#: (write-back pager events; their I/O costs flow through the per-access
+#: hook as before, so the exactness invariant is unchanged).
+TRACE_SCHEMA_VERSION = 2
 
 
 def _blank_span(type_: str) -> dict:
@@ -57,6 +60,9 @@ def _blank_span(type_: str) -> dict:
         "coalesced_blocks": 0,
         "wal_records": 0,
         "wal_flushes": 0,
+        "flushes": 0,
+        "flushed_blocks": 0,
+        "dirty_evictions": 0,
     }
 
 
@@ -179,7 +185,8 @@ class Tracer:
             agg["us_by_phase"][k] = agg["us_by_phase"].get(k, 0.0) + v
         for field in ("pool_hits", "pool_misses", "reuse_hits",
                       "coalesced_runs", "coalesced_blocks",
-                      "wal_records", "wal_flushes"):
+                      "wal_records", "wal_flushes",
+                      "flushes", "flushed_blocks", "dirty_evictions"):
             agg[field] += event[field]
         self.dropped_ops += 1
 
@@ -219,6 +226,23 @@ class Tracer:
     def _on_wal_flush(self, records: int, blocks: int) -> None:
         span = self._current if self._current is not None else self._background
         span["wal_flushes"] += 1
+
+    def pager_flush(self, blocks: int) -> None:
+        """Write-back pager flushed ``blocks`` dirty pages in coalesced runs.
+
+        The flush's block writes were already attributed access-by-access
+        via :meth:`_on_access` (under the ``"flush"`` phase), so this only
+        counts the event — typically it lands in the background record,
+        as flushes happen at phase boundaries, outside any op span.
+        """
+        span = self._current if self._current is not None else self._background
+        span["flushes"] += 1
+        span["flushed_blocks"] += blocks
+
+    def dirty_eviction(self) -> None:
+        """Buffer pool evicted a dirty frame; the pager wrote it back."""
+        span = self._current if self._current is not None else self._background
+        span["dirty_evictions"] += 1
 
     # -- export ------------------------------------------------------------
 

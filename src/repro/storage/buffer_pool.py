@@ -3,9 +3,15 @@
 Section 6.6 of the paper studies how many blocks each index fetches from
 disk when an LRU cache of 0..512 blocks sits in front of it.  LRU is the
 paper's (and our default) policy; CLOCK and FIFO are provided for
-replacement-policy ablations.  All pools are write-through: a write
-updates the cached copy and still goes to disk, so eviction never needs
-to write back.
+replacement-policy ablations.
+
+Pools are write-through by default: a write updates the cached copy and
+still goes to disk, so eviction never needs to write back.  Under the
+pager's *write-back* mode every policy additionally tracks a per-frame
+dirty bit: :meth:`BufferPool.mark_dirty` pins the frame's contents as
+newer than the device copy, and eviction of a dirty frame hands the frame
+to the ``on_evict`` callback (the pager's single-frame flush) before the
+frame is dropped.  Clean evictions never call back — they cost nothing.
 """
 
 from __future__ import annotations
@@ -34,11 +40,18 @@ class BufferPool:
             raise ValueError(f"capacity must be non-negative, got {capacity}")
         self.capacity = capacity
         self._blocks: "OrderedDict[_Key, bytes]" = OrderedDict()
+        self._dirty: set = set()
         self.hits = 0
         self.misses = 0
+        self.dirty_evictions = 0
+        self.clean_evictions = 0
         #: optional observer with ``pool_hit()``/``pool_miss()`` methods
         #: (a :class:`repro.obs.Tracer`); None keeps probes hook-free.
         self.listener = None
+        #: optional callback ``(file_name, block_no, data)`` invoked when a
+        #: *dirty* frame is evicted, after the frame has left the pool —
+        #: the pager uses it to flush exactly that frame to the device.
+        self.on_evict = None
 
     def __len__(self) -> int:
         return len(self._blocks)
@@ -55,6 +68,60 @@ class BufferPool:
         self.misses += 1
         if self.listener is not None:
             self.listener.pool_miss()
+
+    # All three policies funnel evictions through this helper, so dirty
+    # write-back and the eviction counters can never disagree either.
+    # Called *after* the frame has been removed from ``_blocks`` (the
+    # callback may re-enter the pool, e.g. a WAL flush forced by the
+    # pager's log-before-data barrier).
+    def _evicted(self, key: _Key, data: bytes) -> None:
+        if key in self._dirty:
+            self._dirty.discard(key)
+            self.dirty_evictions += 1
+            if self.on_evict is not None:
+                self.on_evict(key[0], key[1], data)
+        else:
+            self.clean_evictions += 1
+
+    # -- dirty tracking ------------------------------------------------------
+
+    def mark_dirty(self, file_name: str, block_no: int) -> None:
+        """Flag a cached frame as newer than the device copy.
+
+        The frame must currently be in the pool — the write-back pager
+        always ``put``s the payload first.
+        """
+        key = (file_name, block_no)
+        if key not in self._blocks:
+            raise KeyError(f"cannot mark absent frame {key!r} dirty")
+        self._dirty.add(key)
+
+    def is_dirty(self, file_name: str, block_no: int) -> bool:
+        return (file_name, block_no) in self._dirty
+
+    @property
+    def dirty_count(self) -> int:
+        return len(self._dirty)
+
+    def dirty_items(self, file_name: Optional[str] = None) -> Dict[_Key, bytes]:
+        """Dirty frames (optionally of one file) as ``{(file, no): data}``.
+
+        Does not touch recency or hit counters — flushing is not an
+        access under any replacement policy.
+        """
+        return {
+            key: self._blocks[key] for key in self._dirty
+            if file_name is None or key[0] == file_name
+        }
+
+    def mark_clean(self, keys) -> None:
+        """Clear dirty bits after the caller flushed ``keys`` to disk.
+
+        The frames stay cached — a freshly flushed page is still the
+        newest copy and keeps serving reads.
+        """
+        for key in keys:
+            self._dirty.discard(key)
 
     def get(self, file_name: str, block_no: int) -> Optional[bytes]:
         """Return the cached block or None, updating recency and hit counters."""
@@ -75,7 +142,8 @@ class BufferPool:
         self._blocks[key] = data
         self._blocks.move_to_end(key)
         while len(self._blocks) > self.capacity:
-            self._blocks.popitem(last=False)
+            victim, victim_data = self._blocks.popitem(last=False)
+            self._evicted(victim, victim_data)
 
     # -- bulk API -----------------------------------------------------------
     # ``read_span`` probes and back-fills whole runs at once; these do the
@@ -109,20 +177,29 @@ class BufferPool:
             self._blocks[key] = data
             self._blocks.move_to_end(key)
         while len(self._blocks) > self.capacity:
-            self._blocks.popitem(last=False)
+            victim, victim_data = self._blocks.popitem(last=False)
+            self._evicted(victim, victim_data)
 
     def invalidate(self, file_name: str, block_no: int) -> None:
-        """Drop one block if present (e.g. the extent holding it was freed)."""
-        self._blocks.pop((file_name, block_no), None)
+        """Drop one block if present (e.g. the extent holding it was freed).
+
+        Dirty contents are *discarded*, not flushed — invalidation means
+        the caller no longer wants the bytes on disk either.
+        """
+        key = (file_name, block_no)
+        self._blocks.pop(key, None)
+        self._dirty.discard(key)
 
     def invalidate_file(self, file_name: str) -> None:
         """Drop every cached block of a file (e.g. a deleted PGM level)."""
         stale = [key for key in self._blocks if key[0] == file_name]
         for key in stale:
             del self._blocks[key]
+            self._dirty.discard(key)
 
     def clear(self) -> None:
         self._blocks.clear()
+        self._dirty.clear()
 
     @property
     def hit_rate(self) -> float:
@@ -152,7 +229,8 @@ class FifoBufferPool(BufferPool):
             return
         self._blocks[key] = data
         while len(self._blocks) > self.capacity:
-            self._blocks.popitem(last=False)
+            victim, victim_data = self._blocks.popitem(last=False)
+            self._evicted(victim, victim_data)
 
     def _touch(self, key: _Key) -> None:
         """FIFO ignores recency — a bulk hit needs no bookkeeping."""
@@ -164,7 +242,8 @@ class FifoBufferPool(BufferPool):
             # assignment keeps an existing key's queue position (FIFO refresh)
             self._blocks[(file_name, block_no)] = data
         while len(self._blocks) > self.capacity:
-            self._blocks.popitem(last=False)
+            victim, victim_data = self._blocks.popitem(last=False)
+            self._evicted(victim, victim_data)
 
 
 class ClockBufferPool(BufferPool):
@@ -203,12 +282,13 @@ class ClockBufferPool(BufferPool):
                 self._referenced[victim] = False
                 self._hand = (self._hand + 1) % len(self._ring)
                 continue
-            del self._blocks[victim]
+            victim_data = self._blocks.pop(victim)
             del self._referenced[victim]
             self._ring[self._hand] = key
             self._blocks[key] = data
             self._referenced[key] = False
             self._hand = (self._hand + 1) % len(self._ring)
+            self._evicted(victim, victim_data)
             return
         self._ring.append(key)
         self._blocks[key] = data
@@ -229,6 +309,7 @@ class ClockBufferPool(BufferPool):
         key = (file_name, block_no)
         if key in self._blocks:
             del self._blocks[key]
+            self._dirty.discard(key)
             self._referenced.pop(key, None)
             if key in self._ring:
                 index = self._ring.index(key)

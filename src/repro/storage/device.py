@@ -23,8 +23,11 @@ from .profile import DiskProfile, HDD
 __all__ = ["BlockDevice", "BlockFile", "StorageStats", "PHASES"]
 
 #: Phases an index can attribute I/O to; ``default`` catches unattributed I/O.
-#: ``log`` is the write-ahead-log traffic of :mod:`repro.durability`.
-PHASES = ("default", "search", "insert", "smo", "maintenance", "scan", "bulkload", "log")
+#: ``log`` is the write-ahead-log traffic of :mod:`repro.durability`;
+#: ``flush`` is dirty-page write-back traffic (eviction and explicit
+#: :meth:`repro.storage.Pager.flush`).
+PHASES = ("default", "search", "insert", "smo", "maintenance", "scan",
+          "bulkload", "log", "flush")
 
 
 @dataclass
@@ -350,6 +353,69 @@ class BlockDevice:
             if self.on_access is not None:
                 self.on_access("w", file.name, block_no, phase, cost)
         file.blocks[block_no] = bytearray(data)
+
+    def write_blocks(self, file: BlockFile, writes: List[tuple]) -> None:
+        """Write several blocks, coalescing contiguous runs — the write-side
+        twin of :meth:`read_blocks` (paper Table 2's t_s/t_t split applied
+        to writes).
+
+        ``writes`` is a list of ``(block_no, data)`` pairs sorted ascending
+        by block number with no duplicates; every payload must be a full
+        block.  Each maximal contiguous run is charged one positioning cost
+        for its head (unless the head extends the device's last access, in
+        which case even that block rides the sequential rate) plus the
+        sequential/transfer cost for every block after it, extending
+        ``write_positionings``/``coalesced_runs``/``coalesced_blocks`` and
+        the ``on_run`` hook symmetrically with the read path.
+        """
+        if not writes:
+            return
+        previous = None
+        for block_no, data in writes:
+            file._check_range(block_no, 1)
+            if len(data) != self.block_size:
+                raise ValueError(
+                    f"write of {len(data)} bytes does not match block size "
+                    f"{self.block_size}")
+            if previous is not None and block_no <= previous:
+                raise ValueError(
+                    f"write_blocks requires sorted unique block numbers, got "
+                    f"{block_no} after {previous}")
+            previous = block_no
+        if file.memory_resident:
+            for block_no, data in writes:
+                file.blocks[block_no] = bytearray(data)
+            return
+        phase = self._phase
+        run_length = 0
+        for block_no, data in writes:
+            sequential = self._last_access == (file.name, block_no - 1)
+            if sequential:
+                run_length += 1
+            else:
+                if run_length >= 2 and self.on_run is not None:
+                    self.on_run(file.name, run_length)
+                run_length = 1
+            cost = self.profile.write_cost_us(self.block_size, sequential)
+            self.stats.writes += 1
+            if not sequential:
+                self.stats.write_positionings += 1
+            file.writes += 1
+            self.stats.elapsed_us += cost
+            self.stats.writes_by_phase[phase] = self.stats.writes_by_phase.get(phase, 0) + 1
+            self.stats.time_by_phase[phase] = self.stats.time_by_phase.get(phase, 0.0) + cost
+            self._last_access = (file.name, block_no)
+            if self.on_access is not None:
+                self.on_access("w", file.name, block_no, phase, cost)
+            if run_length == 2:
+                # A run became multi-block: count it once, plus its head.
+                self.stats.coalesced_runs += 1
+                self.stats.coalesced_blocks += 1
+            if run_length >= 2:
+                self.stats.coalesced_blocks += 1
+            file.blocks[block_no] = bytearray(data)
+        if run_length >= 2 and self.on_run is not None:
+            self.on_run(file.name, run_length)
 
     # -- reporting -----------------------------------------------------------
 

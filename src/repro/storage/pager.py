@@ -15,12 +15,23 @@ The pager layers three caches in front of the device:
    (Section 6.5).
 3. an optional LRU :class:`~repro.storage.buffer_pool.BufferPool`
    (Section 6.6).
+
+With ``write_back=True`` the buffer pool additionally absorbs writes:
+:meth:`Pager.write_block` marks the frame dirty instead of writing
+through, and dirty pages reach the device only at a dirty eviction, an
+explicit :meth:`Pager.flush`, or a checkpoint — always via the device's
+coalescing :meth:`~repro.storage.device.BlockDevice.write_blocks`, so a
+flush charges one positioning per contiguous dirty run instead of one
+per block.  Durability is preserved by a log-before-data barrier: when a
+:class:`~repro.durability.WriteAheadLog` is attached (see
+:meth:`set_wal`), no dirty page reaches disk before the WAL records
+covering it are durable.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Dict, Iterable, Iterator, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from .buffer_pool import BufferPool
 from .device import BlockDevice, BlockFile
@@ -37,6 +48,13 @@ class Pager:
             default no-buffer-management setting.
         reuse_last_block: keep a one-block cache of the most recently
             fetched block (the paper's Section 6.5 behaviour).
+        write_back: buffer writes in the pool as dirty frames and flush
+            them in coalesced runs instead of writing through.  Requires
+            a buffer pool with non-zero capacity (the dirty pages live in
+            its frames).
+        flush_watermark: with ``write_back``, flush all dirty pages as
+            soon as their count reaches this value (None = flush only on
+            eviction / explicit :meth:`flush` / checkpoint).
     """
 
     def __init__(
@@ -44,10 +62,21 @@ class Pager:
         device: BlockDevice,
         buffer_pool: Optional[BufferPool] = None,
         reuse_last_block: bool = True,
+        write_back: bool = False,
+        flush_watermark: Optional[int] = None,
     ) -> None:
+        if write_back and (buffer_pool is None or buffer_pool.capacity == 0):
+            raise ValueError(
+                "write_back requires a buffer pool with non-zero capacity "
+                "(dirty pages live in its frames)")
+        if flush_watermark is not None and flush_watermark < 1:
+            raise ValueError(
+                f"flush_watermark must be >= 1, got {flush_watermark}")
         self.device = device
         self.buffer_pool = buffer_pool
         self.reuse_last_block = reuse_last_block
+        self.write_back = write_back
+        self.flush_watermark = flush_watermark if write_back else None
         self._last: Optional[Tuple[str, int, bytes]] = None
         #: batch pin cache: while inside :meth:`batch`, every block that
         #: crosses the pager is pinned here so repeated accesses within
@@ -55,9 +84,20 @@ class Pager:
         self._batch_depth = 0
         self._batch_cache: Dict[Tuple[str, int], bytes] = {}
         #: optional :class:`repro.obs.Tracer`, set by ``Tracer.bind``;
-        #: only consulted on last-block reuse hits (the one cache level
-        #: the device and buffer pool cannot see).
+        #: consulted on last-block reuse hits (the one cache level the
+        #: device and buffer pool cannot see) and on flush events.
         self.tracer = None
+        #: optional :class:`repro.durability.WriteAheadLog` whose durable
+        #: high-water mark gates dirty-page flushes (log before data).
+        self._wal = None
+        #: per-dirty-page covering LSN: the highest WAL seqno appended
+        #: before the page was last written.  The page may only reach
+        #: disk once ``wal.durable_seqno`` has caught up with it.
+        self._dirty_lsn: Dict[Tuple[str, int], int] = {}
+        self.flushes = 0          # explicit/watermark flush calls that wrote
+        self.flushed_blocks = 0   # dirty blocks written by those flushes
+        if write_back:
+            buffer_pool.on_evict = self._flush_evicted_frame
 
     @property
     def block_size(self) -> int:
@@ -114,16 +154,205 @@ class Pager:
         return data
 
     def write_block(self, file: BlockFile, block_no: int, data: bytes) -> None:
-        """Write one block through to the device, refreshing caches."""
+        """Write one block, refreshing caches.
+
+        Write-through (default): the block goes straight to the device.
+        Write-back: the payload is cached as a dirty frame and reaches
+        the device later, in a coalesced flush run.
+        """
+        if self.write_back and not file.memory_resident:
+            self._buffer_write(file, block_no, data)
+            return
         self.device.write_block(file, block_no, data)
         if file.memory_resident:
             return
+        payload = bytes(data)
         if self.buffer_pool is not None:
-            self.buffer_pool.put(file.name, block_no, bytes(data))
+            self.buffer_pool.put(file.name, block_no, payload)
         if self.reuse_last_block:
-            self._last = (file.name, block_no, bytes(data))
+            self._last = (file.name, block_no, payload)
         if self._batch_depth:
-            self._batch_cache[(file.name, block_no)] = bytes(data)
+            self._batch_cache[(file.name, block_no)] = payload
+
+    def _buffer_write(self, file: BlockFile, block_no: int, data: bytes) -> None:
+        """Absorb one write into the pool as a dirty frame (write-back)."""
+        if not 0 <= block_no < file.num_blocks:
+            raise ValueError(
+                f"block {block_no} out of range for file {file.name!r} "
+                f"({file.num_blocks} blocks)")
+        if len(data) != self.block_size:
+            raise ValueError(
+                f"write must be exactly one block ({self.block_size} bytes), "
+                f"got {len(data)}")
+        payload = bytes(data)
+        key = (file.name, block_no)
+        pool = self.buffer_pool
+        pool.put(file.name, block_no, payload)
+        # ``put`` may have evicted this very frame's predecessor dirty copy
+        # (flushing it); only mark dirty if the frame actually resides.
+        pool.mark_dirty(file.name, block_no)
+        self._dirty_lsn[key] = self._current_lsn()
+        if self.reuse_last_block:
+            self._last = (file.name, block_no, payload)
+        if self._batch_depth:
+            self._batch_cache[key] = payload
+        if (self.flush_watermark is not None
+                and pool.dirty_count >= self.flush_watermark):
+            self.flush()
+
+    def write_blocks(
+        self,
+        file: BlockFile,
+        writes: Iterable[Tuple[int, bytes]],
+        through: bool = False,
+    ) -> None:
+        """Write several blocks of one file, coalescing contiguous runs.
+
+        In write-through mode (or with ``through=True``, which forces
+        the device path even under write-back — e.g. a WAL flush that
+        must be durable *now*), the sorted pairs go to the device in one
+        :meth:`BlockDevice.write_blocks` call charging one positioning
+        per contiguous run.  In write-back mode the pairs become dirty
+        frames, exactly as per-block :meth:`write_block` calls would.
+        """
+        pairs = sorted(writes)
+        if not pairs:
+            return
+        if self.write_back and not through and not file.memory_resident:
+            for block_no, data in pairs:
+                self._buffer_write(file, block_no, data)
+            return
+        self.device.write_blocks(file, pairs)
+        if file.memory_resident:
+            return
+        payloads = {no: bytes(data) for no, data in pairs}
+        if self.buffer_pool is not None:
+            if through and self.write_back:
+                # A forced write-through supersedes any buffered dirty
+                # copy of the same blocks: refresh and clean the frames.
+                self.buffer_pool.put_many(file.name, payloads)
+                keys = [(file.name, no) for no in payloads]
+                self.buffer_pool.mark_clean(keys)
+                for key in keys:
+                    self._dirty_lsn.pop(key, None)
+            else:
+                self.buffer_pool.put_many(file.name, payloads)
+        if self.reuse_last_block:
+            top = pairs[-1][0]
+            self._last = (file.name, top, payloads[top])
+        if self._batch_depth:
+            for no, payload in payloads.items():
+                self._batch_cache[(file.name, no)] = payload
+
+    # -- write-back flushing -------------------------------------------------
+
+    def set_wal(self, wal) -> None:
+        """Attach the write-ahead log whose durability gates page flushes.
+
+        After this, no dirty page reaches the device before the WAL
+        records covering it (appended up to the page's last write) are
+        durable — the classic log-before-data rule.
+        """
+        self._wal = wal
+
+    def _current_lsn(self) -> int:
+        """Covering LSN for a write happening *now*.
+
+        The index logs before it applies, so every record describing the
+        current page contents has already been appended — the highest
+        appended seqno covers the page.
+        """
+        if self._wal is None:
+            return 0
+        return self._wal.current_lsn
+
+    def _ensure_wal_durable(self, lsn: int) -> None:
+        """Force the WAL durable up to ``lsn`` before data hits disk."""
+        if lsn and self._wal is not None and self._wal.durable_seqno < lsn:
+            self._wal.flush()
+
+    @property
+    def dirty_blocks(self) -> int:
+        """Number of dirty pages currently buffered (0 unless write-back)."""
+        if self.buffer_pool is None:
+            return 0
+        return self.buffer_pool.dirty_count
+
+    def flush(self, file_name: Optional[str] = None) -> int:
+        """Write all dirty pages (optionally of one file) in coalesced runs.
+
+        Called at workload phase boundaries, at checkpoints, and before
+        handing a file's device image to anyone who will read it without
+        this pager (e.g. :func:`~repro.storage.persist.save_device`).
+        Charges I/O under the ``"flush"`` phase: one positioning per
+        contiguous dirty run plus sequential transfers.  Returns the
+        number of blocks written.
+        """
+        if self.buffer_pool is None:
+            return 0
+        dirty = self.buffer_pool.dirty_items(file_name)
+        if not dirty:
+            return 0
+        self._ensure_wal_durable(
+            max(self._dirty_lsn.get(key, 0) for key in dirty))
+        by_file: Dict[str, List[Tuple[int, bytes]]] = {}
+        for (fname, block_no), data in dirty.items():
+            by_file.setdefault(fname, []).append((block_no, data))
+        written = 0
+        previous = self.device.set_phase("flush")
+        try:
+            for fname, pairs in sorted(by_file.items()):
+                pairs.sort()
+                self.device.write_blocks(self.device.get_file(fname), pairs)
+                written += len(pairs)
+        finally:
+            self.device.set_phase(previous)
+        self.buffer_pool.mark_clean(dirty.keys())
+        for key in dirty:
+            self._dirty_lsn.pop(key, None)
+        self.flushes += 1
+        self.flushed_blocks += written
+        if self.tracer is not None:
+            self.tracer.pager_flush(written)
+        return written
+
+    def _flush_evicted_frame(self, file_name: str, block_no: int,
+                             data: bytes) -> None:
+        """Write back one dirty frame the pool just evicted.
+
+        Invoked by the pool *after* the frame left it, so the WAL flush
+        forced by the log-before-data barrier (which may itself touch the
+        pool) cannot recurse into this eviction.
+        """
+        key = (file_name, block_no)
+        self._ensure_wal_durable(self._dirty_lsn.pop(key, 0))
+        previous = self.device.set_phase("flush")
+        try:
+            self.device.write_blocks(self.device.get_file(file_name),
+                                     [(block_no, data)])
+        finally:
+            self.device.set_phase(previous)
+        if self.tracer is not None:
+            self.tracer.dirty_eviction()
+
+    def drop_dirty(self) -> int:
+        """Discard every dirty page without writing it (simulated crash).
+
+        The frames are *removed* from the pool — after a crash the only
+        trustworthy copy is the device's, and recovery must re-read it.
+        Returns the number of pages dropped.
+        """
+        if self.buffer_pool is None:
+            return 0
+        dirty = list(self.buffer_pool.dirty_items())
+        for fname, block_no in dirty:
+            self.buffer_pool.invalidate(fname, block_no)
+            if (self._last is not None and self._last[0] == fname
+                    and self._last[1] == block_no):
+                self._last = None
+            self._batch_cache.pop((fname, block_no), None)
+        self._dirty_lsn.clear()
+        return len(dirty)
 
     # -- batched API ---------------------------------------------------------
 

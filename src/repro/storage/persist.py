@@ -29,8 +29,18 @@ _FILE_HEADER = struct.Struct("<HIIB")  # name length, num blocks, live blocks, r
 _PROFILES = {"hdd": HDD, "ssd": SSD, "null": NULL_DEVICE}
 
 
-def save_device(device: BlockDevice, target: Union[str, BinaryIO]) -> None:
-    """Write the device image to ``target`` (path or binary stream)."""
+def save_device(device: BlockDevice, target: Union[str, BinaryIO],
+                pager=None) -> None:
+    """Write the device image to ``target`` (path or binary stream).
+
+    Pass the ``pager`` serving the device when one exists: a write-back
+    pager may hold dirty pages newer than the device's blocks, and the
+    image must contain them — they are flushed first, in coalesced
+    :meth:`~repro.storage.device.BlockDevice.write_blocks` runs (charged
+    simulated I/O, as a real checkpoint writer would pay).
+    """
+    if pager is not None:
+        pager.flush()
     own = isinstance(target, str)
     stream: BinaryIO = open(target, "wb") if own else target
     try:

@@ -69,6 +69,9 @@ class RunResult:
     write_positionings: int = 0  # writes charged the random-positioning cost
     coalesced_runs: int = 0      # multi-block contiguous runs coalesced
     coalesced_blocks: int = 0    # blocks covered by those runs
+    # -- write-back accounting (zero unless the pager buffers writes) --
+    flushes: int = 0           # explicit/watermark dirty flushes that wrote
+    dirty_evictions: int = 0   # dirty frames written back at eviction
     # -- observability (histogram digests: count/mean/p50/p90/p99/max) --
     p90_latency_us: float = 0.0
     max_latency_us: float = 0.0
@@ -168,7 +171,9 @@ def run_workload(index: DiskIndex, ops: Sequence[Operation], workload: str = "",
 
     Mutating operations go through the ``durable_*`` log-then-apply path
     whenever the index has a WAL attached; on a clean finish the WAL's
-    tail batch is flushed so the run ends fully durable.
+    tail batch is flushed so the run ends fully durable, and a write-back
+    pager then flushes its dirty pages in coalesced runs (the workload
+    phase boundary is one of the three flush points).
     """
     if batch < 1:
         raise ValueError("batch must be >= 1")
@@ -185,6 +190,9 @@ def run_workload(index: DiskIndex, ops: Sequence[Operation], workload: str = "",
     file_reads_before = {name: f.reads for name, f in device.files.items()}
     log_records_before = wal.records_appended if wal is not None else 0
     log_flushes_before = wal.flushes if wal is not None else 0
+    flushes_before = pager.flushes
+    dirty_evictions_before = (pager.buffer_pool.dirty_evictions
+                              if pager.buffer_pool is not None else 0)
     latencies = np.empty(len(ops), dtype=np.float64)
     executed = len(ops)
     crashed_at: Optional[int] = None
@@ -281,10 +289,14 @@ def run_workload(index: DiskIndex, ops: Sequence[Operation], workload: str = "",
         crashed_at = crash.op_index
         executed = crash.op_index
         latencies = latencies[:executed]
-        fault_injector.crash(wal, crash.op_index)
+        fault_injector.crash(wal, crash.op_index, pager=pager)
     else:
         if wal is not None:
             wal.flush()  # make the tail group commit durable
+        # Phase boundary: a write-back pager flushes its dirty pages in
+        # coalesced runs (after the WAL, preserving log-before-data), so
+        # the measured run ends with the device image fully written.
+        pager.flush()
 
     delta = device.stats.diff(start)
     roles = index.file_roles()
@@ -339,6 +351,10 @@ def run_workload(index: DiskIndex, ops: Sequence[Operation], workload: str = "",
         write_positionings=delta.write_positionings,
         coalesced_runs=delta.coalesced_runs,
         coalesced_blocks=delta.coalesced_blocks,
+        flushes=pager.flushes - flushes_before,
+        dirty_evictions=(
+            pager.buffer_pool.dirty_evictions - dirty_evictions_before
+            if pager.buffer_pool is not None else 0),
         p90_latency_us=float(np.percentile(latencies, 90)) if executed else 0.0,
         max_latency_us=float(latencies.max()) if executed else 0.0,
         op_latency_histograms={k: h.summary() for k, h in op_hists.items()},
