@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Corrupt a live index block, scrub it out, repair it byte-identical.
+
+The walkthrough builds a B+-tree on the HDD profile, attaches a
+write-ahead log, checkpoints, and runs part of a write stream so the
+committed state lives in checkpoint + WAL, not just on disk.  A byte of
+one leaf block is then flipped behind the device's back — media
+corruption: the stored bytes change, the checksum envelope does not.
+The next lookup of that block raises ``ChecksumError`` instead of
+serving garbage, a scrub pass pins down exactly which block rotted, and
+``repair_blocks`` rebuilds it from the checkpoint plus the WAL's redo
+records — byte-identical to the pre-corruption contents, with zero
+acknowledged writes lost.  A ``SelfHealer`` then absorbs a second
+corruption mid-stream without the workload ever seeing it.
+
+Run:  python examples/self_healing.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import BlockDevice, ChecksumError, HDD, Pager, make_index
+from repro.durability import SelfHealer, WriteAheadLog, repair_blocks, take_checkpoint
+from repro.workloads import run_workload
+
+GROUP_COMMIT = 8
+
+
+def corrupt(device: BlockDevice, file_name: str, block_no: int) -> None:
+    """Flip one stored byte without touching the checksum envelope."""
+    handle = device.get_file(file_name)
+    block = bytearray(handle.blocks[block_no])
+    block[200] ^= 0x5A
+    handle.blocks[block_no] = block
+
+
+def main() -> None:
+    rng = random.Random(31)
+    keys = rng.sample(range(10**12), 30_000)  # unsorted: inserts span all leaves
+    bulk = sorted((k, k + 1) for k in keys[:20_000])
+    ops = [("insert", k) for k in keys[20_000:]]
+
+    device = BlockDevice(4096, HDD)
+    index = make_index("btree", Pager(device))
+    index.bulk_load(bulk)
+    wal = WriteAheadLog(index.pager, group_commit=GROUP_COMMIT)
+    index.attach_wal(wal)
+    checkpoint = take_checkpoint(index, wal)
+    run_workload(index, ops[:5_000], workload="write_only")
+    print(f"bulk loaded {len(bulk)} keys, checkpointed, 5000 inserts logged "
+          f"(LSN {checkpoint.lsn} + {wal.records_appended} WAL records)")
+
+    # Media corruption: a leaf block rots under a live, healthy index.
+    victim = ("btree.leaf", 7)
+    before = bytes(device.get_file(victim[0]).blocks[victim[1]])
+    corrupt(device, *victim)
+    index.pager.drop_last_block()
+    try:
+        index.scan(0, 10**6)
+        raise SystemExit("corrupt block was served!")
+    except ChecksumError as fault:
+        print(f"detected: {fault}")
+
+    report = index.pager.scrub()
+    print(f"scrub: {report.blocks_scanned} blocks audited, "
+          f"bad = {report.bad_blocks}")
+    assert report.bad_blocks == [victim]
+
+    repair = repair_blocks(index, checkpoint, report.bad_blocks, wal)
+    after = bytes(device.get_file(victim[0]).blocks[victim[1]])
+    assert after == before, "repair must be byte-identical"
+    print(f"repaired {repair.blocks_repaired} block from checkpoint + "
+          f"{repair.records_replayed} WAL records in "
+          f"{repair.repair_us / 1e3:.1f} ms simulated — byte-identical")
+
+    # Hands-free: a SelfHealer absorbs corruption mid-workload.
+    corrupt(device, *victim)
+    index.pager.drop_last_block()
+    healer = SelfHealer(index, checkpoint, wal)
+    result = run_workload(index, ops[5_000:], workload="write_only",
+                          healer=healer)
+    live = index.verify()
+    print(f"workload finished over a rotting device: "
+          f"{result.healed_faults} fault healed in-stream, "
+          f"{result.checksum_failures} detection, scrub clean = "
+          f"{not index.pager.scrub().bad_blocks}, verified {live} keys")
+
+
+if __name__ == "__main__":
+    main()

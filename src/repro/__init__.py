@@ -27,7 +27,8 @@ Packages:
   profiling.
 * :mod:`repro.workloads` — the six workload types and the metric runner.
 * :mod:`repro.durability` — write-ahead log with group commit,
-  crash-fault injection, checkpoint + WAL-replay recovery.
+  crash-fault injection, checkpoint + WAL-replay recovery, and
+  WAL-assisted self-healing repair of corrupt blocks.
 * :mod:`repro.obs` — op-level tracing, latency/IO histograms, and trace
   analysis (``python -m repro.obs.analyze trace.jsonl``).
 * :mod:`repro.bench` — one experiment per paper table/figure
@@ -51,13 +52,28 @@ from .core import (
 from .datasets import dataset_names, make_dataset, profile_dataset
 from .durability import (
     FaultInjector,
+    SelfHealer,
     WriteAheadLog,
     recover,
+    repair_blocks,
+    restore_index,
     take_checkpoint,
 )
 from .models import LinearModel, optimal_segments, shrinking_cone_segments
 from .obs import Histogram, Tracer
-from .storage import HDD, SSD, BlockDevice, BufferPool, DiskProfile, Pager
+from .storage import (
+    HDD,
+    SSD,
+    BlockDevice,
+    BufferPool,
+    ChecksumError,
+    DeviceFaultModel,
+    DiskProfile,
+    Pager,
+    PersistentIOError,
+    StorageFault,
+    TransientIOError,
+)
 from .workloads import WORKLOADS, build_workload, run_workload
 
 __version__ = "1.0.0"
@@ -67,6 +83,8 @@ __all__ = [
     "BTreeIndex",
     "BlockDevice",
     "BufferPool",
+    "ChecksumError",
+    "DeviceFaultModel",
     "DiskIndex",
     "DiskProfile",
     "FaultInjector",
@@ -77,10 +95,14 @@ __all__ = [
     "LinearModel",
     "LippIndex",
     "Pager",
+    "PersistentIOError",
     "PgmIndex",
     "PlidIndex",
     "SSD",
+    "SelfHealer",
+    "StorageFault",
     "Tracer",
+    "TransientIOError",
     "WORKLOADS",
     "WriteAheadLog",
     "__version__",
@@ -94,6 +116,8 @@ __all__ = [
     "optimal_segments",
     "profile_dataset",
     "recover",
+    "repair_blocks",
+    "restore_index",
     "run_workload",
     "shrinking_cone_segments",
     "take_checkpoint",

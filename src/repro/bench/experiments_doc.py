@@ -196,6 +196,18 @@ PAPER_EXPECTATIONS: Dict[str, Dict[str, str]] = {
                  "alex/lipp (never more on any cell), with validated, "
                  "byte-identical answers; throughput rises accordingly.",
     },
+    "fault_sweep": {
+        "artifact": "Extension (self-healing storage)",
+        "paper": "The paper assumes a faithful device; production "
+                 "disk-resident stores checksum every block and repair "
+                 "from redundancy (cf. ARIES-style media recovery).",
+        "shape": "The zero-rate row has zero retries/failures/repairs and "
+                 "checksums add zero extra block accesses; as the "
+                 "transient rate sweeps 1e-4 -> 1e-2, retries grow "
+                 "roughly proportionally while every detected corruption "
+                 "is repaired from checkpoint + WAL redo with no lost "
+                 "acknowledged writes and throughput degrades gracefully.",
+    },
 }
 
 _HEADER = """\

@@ -207,6 +207,37 @@ class HybridIndex(DiskIndex):
 
     # -- misc -------------------------------------------------------------------------
 
+    def verify(self) -> int:
+        """Check leaf-chain linkage and order, per-leaf sortedness, and
+        the inner directory's routing agreement with the leaves."""
+        with self._free_io():
+            count = 0
+            walked = 0
+            previous_key = -1
+            previous_block = NULL_BLOCK
+            block = 0 if self.num_leaves else NULL_BLOCK
+            while block != NULL_BLOCK:
+                assert walked < self.num_leaves, "leaf chain cycles or overruns"
+                raw = self.pager.read_block(self._leaf_file, block)
+                entry_count, _pad, next_, prev, _pad2 = _LEAF_HEADER.unpack_from(raw, 0)
+                entries = unpack_entries(raw, entry_count, offset=LEAF_HEADER_SIZE)
+                assert prev == previous_block, "broken prev link"
+                keys = [k for k, _ in entries]
+                assert keys == sorted(set(keys)), "leaf unsorted"
+                if keys:
+                    assert keys[0] > previous_key, "leaves out of order"
+                    assert self.inner.lookup(keys[-1]) == block, (
+                        "inner directory misroutes a leaf max key")
+                    previous_key = keys[-1]
+                count += len(entries)
+                walked += 1
+                previous_block = block
+                block = next_
+            assert walked == self.num_leaves, "leaf chain shorter than num_leaves"
+            if self.max_key is not None:
+                assert previous_key == self.max_key, "stored max_key diverges"
+            return count
+
     def _inner_file_names(self) -> List[str]:
         """Every file the inner index owns, including files it created
         after construction (PGM components appear during bulk load)."""

@@ -12,11 +12,16 @@ al., "Learned Indexes for a Google-scale Disk-based Database"):
   log block (a flush caught mid-write);
 * :func:`take_checkpoint` / :func:`recover` — redo-from-checkpoint
   recovery that replays the WAL's CRC-valid prefix against a saved index
-  image, never trusting the crashed device's index files.
+  image, never trusting the crashed device's index files;
+* :func:`repair_blocks` / :func:`restore_index` / :class:`SelfHealer` —
+  WAL-assisted repair of blocks the storage layer's checksum envelope
+  refuses to serve, rebuilding committed contents from checkpoint + redo
+  with zero lost acknowledged writes.
 """
 
 from .faults import CrashError, CrashReport, FaultInjector
 from .recovery import Checkpoint, RecoveryResult, recover, take_checkpoint
+from .repair import RepairResult, SelfHealer, repair_blocks, restore_index
 from .wal import WAL_FILE, LogRecord, WriteAheadLog
 
 __all__ = [
@@ -26,8 +31,12 @@ __all__ = [
     "FaultInjector",
     "LogRecord",
     "RecoveryResult",
+    "RepairResult",
+    "SelfHealer",
     "WAL_FILE",
     "WriteAheadLog",
     "recover",
+    "repair_blocks",
+    "restore_index",
     "take_checkpoint",
 ]

@@ -18,6 +18,7 @@ import random
 from dataclasses import dataclass
 from typing import Optional
 
+from ..storage.faults import DeviceFaultModel
 from .wal import WriteAheadLog
 
 __all__ = ["CrashError", "CrashReport", "FaultInjector"]
@@ -53,16 +54,30 @@ class FaultInjector:
         torn_tail: when True, the crash also tears the last flushed log
             block — the flush in flight at power loss — so recovery must
             cut the log at the CRC mismatch.
+        device_faults: optional
+            :class:`~repro.storage.faults.DeviceFaultModel` injecting
+            media faults (bit rot, torn data writes, transient/persistent
+            read errors) alongside the crash machinery — :meth:`arm`
+            attaches it to a device.  Crashes destroy volatile state;
+            device faults damage the medium itself; one injector can
+            drive both from one seeded schedule.
     """
 
     def __init__(self, crash_at_op: Optional[int] = None,
                  crash_probability: float = 0.0, seed: int = 0,
-                 torn_tail: bool = False) -> None:
+                 torn_tail: bool = False,
+                 device_faults: Optional[DeviceFaultModel] = None) -> None:
         self.crash_at_op = crash_at_op
         self.crash_probability = crash_probability
         self.torn_tail = torn_tail
+        self.device_faults = device_faults
         self.rng = random.Random(seed)
         self.fired = False
+
+    def arm(self, device) -> None:
+        """Attach the device-level fault model (if any) to ``device``."""
+        if self.device_faults is not None:
+            device.fault_model = self.device_faults
 
     def maybe_crash(self, op_index: int) -> None:
         """Raise :class:`CrashError` if this operation is the crash point."""

@@ -1,0 +1,241 @@
+"""WAL-assisted block repair and full restore.
+
+When the storage layer refuses to serve a block (``ChecksumError``,
+``PersistentIOError``), the data is not lost: the latest
+:class:`~repro.durability.recovery.Checkpoint` plus the WAL's durable
+prefix determine the committed state of *every* block, because replay is
+deterministic — the same logical operations applied to the same
+checkpoint image produce byte-identical file layouts.  Repair exploits
+this in two modes:
+
+``repair_blocks``
+    in-place repair of specific blocks.  Safe whenever the live index is
+    at an operation boundary (or the fault escaped a *read-only*
+    operation, which mutates nothing): flush the WAL so every
+    acknowledged write is durable, rebuild the committed image on a
+    scratch device via :func:`~repro.durability.recovery.recover`, and
+    write the rebuilt payloads of just the bad blocks back through the
+    live pager (under the ``"repair"`` phase; the write also remaps a
+    grown defect in the fault model, as real drives do).  Zero
+    acknowledged writes are lost — they are all in checkpoint + WAL.
+
+``restore_index``
+    full restore after a fault escaped a *mutating* operation.  The live
+    structure may hold a half-applied SMO spread over blocks nobody can
+    enumerate, so single-block repair is unsound; instead every block
+    whose envelope checksum diverges from the rebuilt image is rewritten
+    and the index's in-memory meta is reset from the rebuilt index.
+    Because the faulted operation logged before it applied, the flush +
+    replay *includes* it: after the restore the operation is complete
+    and must not be re-executed.
+
+The WAL scan is charged to the live device (repair pays real simulated
+I/O for reading the log); the replay itself runs on the scratch device,
+modeling a repair process with its own working storage.
+
+:class:`SelfHealer` packages both modes behind a ``handle(fault)``
+call for the workload runner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..storage.integrity import (ChecksumError, PersistentIOError,
+                                 StorageFault, block_crc)
+from .recovery import Checkpoint, recover
+from .wal import WriteAheadLog
+
+__all__ = ["RepairResult", "SelfHealer", "repair_blocks", "restore_index"]
+
+
+@dataclass
+class RepairResult:
+    """What one repair pass rebuilt and what it cost."""
+
+    repaired: List[Tuple[str, int]] = field(default_factory=list)
+    #: blocks that could not be repaired (the WAL's own blocks — the log
+    #: is the recovery *source*, not a repair target — or blocks the
+    #: rebuilt image does not contain)
+    skipped: List[Tuple[str, int]] = field(default_factory=list)
+    records_replayed: int = 0
+    full_restore: bool = False
+    #: simulated time charged to the live device (WAL scan + repair writes)
+    repair_us: float = 0.0
+
+    @property
+    def blocks_repaired(self) -> int:
+        return len(self.repaired)
+
+
+def _rebuild(index, checkpoint: Checkpoint, wal: WriteAheadLog):
+    """Flush the WAL (zero lost acknowledged writes) and rebuild the
+    committed image on a scratch device."""
+    wal.flush()
+    return recover(checkpoint, wal)
+
+
+def repair_blocks(index, checkpoint: Checkpoint,
+                  bad_blocks, wal: Optional[WriteAheadLog] = None,
+                  quarantine: bool = False) -> RepairResult:
+    """Rebuild specific corrupt blocks from checkpoint + WAL redo.
+
+    ``bad_blocks`` is an iterable of ``(file_name, block_no)`` — e.g. a
+    :class:`~repro.storage.integrity.ScrubReport`'s ``bad_blocks`` or
+    the coordinates carried by a single ``StorageFault``.  With
+    ``quarantine=True`` each repaired payload is additionally pinned in
+    the buffer pool so a persistently flaky device copy is never
+    consulted again until a scrub verifies it.
+    """
+    wal = wal if wal is not None else index.wal
+    if wal is None:
+        raise ValueError("block repair needs the WAL that covers the index")
+    pager = index.pager
+    device = pager.device
+    start_us = device.stats.elapsed_us
+    recovery = _rebuild(index, checkpoint, wal)
+    rebuilt_files = recovery.index.pager.device.files
+    result = RepairResult(records_replayed=recovery.records_applied)
+    by_file: Dict[str, List[Tuple[int, bytes]]] = {}
+    for file_name, block_no in sorted(set(bad_blocks)):
+        source = rebuilt_files.get(file_name)
+        if (file_name == wal.file.name or source is None
+                or block_no >= source.num_blocks):
+            result.skipped.append((file_name, block_no))
+            continue
+        by_file.setdefault(file_name, []).append(
+            (block_no, bytes(source.blocks[block_no])))
+    with pager.phase("repair"):
+        for file_name, pairs in sorted(by_file.items()):
+            live = device.get_file(file_name)
+            pager.write_blocks(live, pairs, through=True)
+            for block_no, data in pairs:
+                if quarantine:
+                    pager.quarantine(file_name, block_no, data)
+                result.repaired.append((file_name, block_no))
+    device.stats.repaired_blocks += len(result.repaired)
+    if index.tracer is not None and result.repaired:
+        index.tracer.blocks_repaired(len(result.repaired))
+    result.repair_us = device.stats.elapsed_us - start_us
+    return result
+
+
+def restore_index(index, checkpoint: Checkpoint,
+                  wal: Optional[WriteAheadLog] = None) -> RepairResult:
+    """Restore the whole live index to its committed state in place.
+
+    Used when a storage fault escaped a mutating operation: the live
+    files may hold a half-applied structural change, and the medium that
+    triggered the fault cannot be trusted to report which blocks are good
+    (bit rot leaves the checksum envelope pointing at the *old* content).
+    So the restore trusts nothing on the live device: dirty write-back
+    frames from the torn operation are discarded, every block of the
+    rebuilt committed image is written back over the live file, and the
+    index object's in-memory meta is reset from the rebuilt one.  The
+    interrupted operation was logged before it applied, so the restored
+    state *includes* it.  ``repaired`` lists only the blocks whose live
+    content actually diverged from the rebuilt image.
+    """
+    wal = wal if wal is not None else index.wal
+    if wal is None:
+        raise ValueError("restore needs the WAL that covers the index")
+    pager = index.pager
+    device = pager.device
+    start_us = device.stats.elapsed_us
+    recovery = _rebuild(index, checkpoint, wal)
+    rebuilt = recovery.index
+    result = RepairResult(records_replayed=recovery.records_applied,
+                          full_restore=True)
+    # The half-applied operation's buffered pages must never reach disk.
+    pager.drop_dirty()
+    with pager.phase("repair"):
+        for file_name, source in sorted(rebuilt.pager.device.files.items()):
+            if file_name == wal.file.name:  # pragma: no cover - recover() deletes it
+                continue
+            live = device.get_or_create_file(file_name)
+            if live.num_blocks < source.num_blocks:
+                live.allocate(source.num_blocks - live.num_blocks)
+            diverged = [
+                no for no in range(source.num_blocks)
+                if block_crc(bytes(live.blocks[no])) != source.checksums[no]
+            ]
+            pairs = [(no, bytes(source.blocks[no]))
+                     for no in range(source.num_blocks)]
+            if pairs:
+                pager.write_blocks(live, pairs, through=True)
+                result.repaired.extend((file_name, no) for no in diverged)
+            # Blocks past the rebuilt image's end are unreferenced after
+            # the meta reset; re-stamp their envelopes so a later scrub
+            # does not flag the garbage a torn operation left there.
+            for no in range(source.num_blocks, live.num_blocks):
+                live.checksums[no] = block_crc(bytes(live.blocks[no]))
+    index.restore_meta(rebuilt.to_meta())
+    pager.drop_last_block()
+    device.stats.repaired_blocks += len(result.repaired)
+    if index.tracer is not None and result.repaired:
+        index.tracer.blocks_repaired(len(result.repaired))
+    result.repair_us = device.stats.elapsed_us - start_us
+    return result
+
+
+class SelfHealer:
+    """Fault handler wiring detection to the matching repair mode.
+
+    Attach one to :func:`repro.workloads.run_workload` (the ``healer``
+    argument): when a storage fault escapes an operation, the runner
+    calls :meth:`handle` and either re-executes the operation (faults
+    escaping read-only operations — the repaired state excludes nothing)
+    or moves on (faults escaping mutating operations — the full restore
+    replayed the operation from its WAL record).
+
+    Args:
+        index: the live index to heal in place.
+        checkpoint: the committed base image repairs rebuild from.
+        wal: the covering log; defaults to the index's attached WAL.
+        max_repairs: hard cap on repair passes, so a device failing
+            faster than it can be repaired terminates instead of looping.
+    """
+
+    def __init__(self, index, checkpoint: Checkpoint,
+                 wal: Optional[WriteAheadLog] = None,
+                 max_repairs: int = 100) -> None:
+        self.index = index
+        self.checkpoint = checkpoint
+        self.wal = wal if wal is not None else index.wal
+        if self.wal is None:
+            raise ValueError("SelfHealer needs a WAL covering the index")
+        self.max_repairs = max_repairs
+        self.repairs: List[RepairResult] = []
+        self.unhandled = 0
+
+    @property
+    def blocks_repaired(self) -> int:
+        return sum(r.blocks_repaired for r in self.repairs)
+
+    def handle(self, fault: Exception, mutating: bool = False) -> Optional[str]:
+        """Attempt to heal ``fault``; returns the action taken.
+
+        ``"retry"`` — the block was repaired in place; re-execute the
+        operation.  ``"applied"`` — a mutating operation was absorbed
+        into a full restore (its WAL record replayed); do *not*
+        re-execute.  ``None`` — unhealable (not a storage fault, the
+        WAL's own blocks, or the repair budget is exhausted).
+        """
+        if not isinstance(fault, StorageFault):
+            return None
+        if not isinstance(fault, (ChecksumError, PersistentIOError)):
+            return None  # pragma: no cover - transients die in the pager
+        if fault.file_name == self.wal.file.name:
+            self.unhandled += 1
+            return None  # a single-copy log cannot be rebuilt from itself
+        if len(self.repairs) >= self.max_repairs:
+            self.unhandled += 1
+            return None
+        if mutating:
+            self.repairs.append(restore_index(self.index, self.checkpoint, self.wal))
+            return "applied"
+        self.repairs.append(repair_blocks(
+            self.index, self.checkpoint, [(fault.file_name, fault.block_no)],
+            self.wal, quarantine=isinstance(fault, PersistentIOError)))
+        return "retry"

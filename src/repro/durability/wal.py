@@ -30,6 +30,7 @@ import zlib
 from dataclasses import dataclass
 from typing import Iterator, List
 
+from ..storage.integrity import StorageFault
 from ..storage.pager import Pager
 
 __all__ = ["LogRecord", "WriteAheadLog", "WAL_FILE"]
@@ -207,12 +208,18 @@ class WriteAheadLog:
         I/O).  The scan stops at the first block whose CRC does not match
         its record area — everything at or past a torn block is treated
         as never written, which is safe because blocks are flushed in
-        sequence-number order.
+        sequence-number order.  A block the storage layer itself refuses
+        to serve (its checksum envelope is stale — the torn tail mutated
+        bytes behind the device's back — or the medium is bad) cuts the
+        log the same way.
         """
         expected = 1
         with self.pager.phase("log"):
             for block_no in range(self.file.num_blocks):
-                raw = self.pager.read_block(self.file, block_no)
+                try:
+                    raw = self.pager.read_block(self.file, block_no)
+                except StorageFault:
+                    return  # unreadable block: cut the log here
                 crc, count = _BLOCK_HEADER.unpack_from(raw, 0)
                 if count > self.records_per_block:
                     return

@@ -42,7 +42,12 @@ __all__ = ["Tracer", "TRACE_SCHEMA_VERSION"]
 #: 2: added per-span ``flushes``/``flushed_blocks``/``dirty_evictions``
 #: (write-back pager events; their I/O costs flow through the per-access
 #: hook as before, so the exactness invariant is unchanged).
-TRACE_SCHEMA_VERSION = 2
+#: 3: added per-span ``io_retries``/``checksum_failures``/``repaired_blocks``
+#: (self-healing storage).  Retry backoff is charged as latency without a
+#: block transfer, so :meth:`Tracer.io_retry` folds it into the span's and
+#: the running ``us_by_phase`` totals directly — reconciliation stays
+#: bitwise.
+TRACE_SCHEMA_VERSION = 3
 
 
 def _blank_span(type_: str) -> dict:
@@ -63,6 +68,9 @@ def _blank_span(type_: str) -> dict:
         "flushes": 0,
         "flushed_blocks": 0,
         "dirty_evictions": 0,
+        "io_retries": 0,
+        "checksum_failures": 0,
+        "repaired_blocks": 0,
     }
 
 
@@ -107,6 +115,7 @@ class Tracer:
         if pager not in self._pagers:
             pager.device.on_access = self._on_access
             pager.device.on_run = self._on_run
+            pager.device.on_fault = self._on_fault
             pager.tracer = self
             if pager.buffer_pool is not None:
                 pager.buffer_pool.listener = self
@@ -123,6 +132,7 @@ class Tracer:
         for pager in self._pagers:
             pager.device.on_access = None
             pager.device.on_run = None
+            pager.device.on_fault = None
             pager.tracer = None
             if pager.buffer_pool is not None:
                 pager.buffer_pool.listener = None
@@ -186,7 +196,8 @@ class Tracer:
         for field in ("pool_hits", "pool_misses", "reuse_hits",
                       "coalesced_runs", "coalesced_blocks",
                       "wal_records", "wal_flushes",
-                      "flushes", "flushed_blocks", "dirty_evictions"):
+                      "flushes", "flushed_blocks", "dirty_evictions",
+                      "io_retries", "checksum_failures", "repaired_blocks"):
             agg[field] += event[field]
         self.dropped_ops += 1
 
@@ -243,6 +254,37 @@ class Tracer:
         """Buffer pool evicted a dirty frame; the pager wrote it back."""
         span = self._current if self._current is not None else self._background
         span["dirty_evictions"] += 1
+
+    def io_retry(self, phase: str, backoff_us: float) -> None:
+        """Pager reissued a read after a transient device error.
+
+        The backoff is pure latency — no block transferred — so it does
+        not pass through :meth:`_on_access`; it is added to the span's
+        and the running per-phase µs totals here, mirroring the order the
+        device charges it, to keep reconciliation bitwise.
+        """
+        span = self._current if self._current is not None else self._background
+        span["io_retries"] += 1
+        span["us_by_phase"][phase] = span["us_by_phase"].get(phase, 0.0) + backoff_us
+        self._total_us[phase] = self._total_us.get(phase, 0.0) + backoff_us
+
+    def _on_fault(self, kind: str, file_name: str, block_no: int) -> None:
+        """BlockDevice hook: the read path hit an injected fault.
+
+        ``kind`` is ``"checksum"``, ``"transient"``, or ``"persistent"``.
+        Only checksum failures are counted per span — transient errors
+        surface as :meth:`io_retry` calls and persistent ones as the
+        exception ending the span.
+        """
+        if kind != "checksum":
+            return
+        span = self._current if self._current is not None else self._background
+        span["checksum_failures"] += 1
+
+    def blocks_repaired(self, count: int) -> None:
+        """The repair path rewrote ``count`` corrupt blocks from redo."""
+        span = self._current if self._current is not None else self._background
+        span["repaired_blocks"] += count
 
     # -- export ------------------------------------------------------------
 

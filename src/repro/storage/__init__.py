@@ -9,6 +9,9 @@ and HDD/SSD :class:`DiskProfile` latency models.
 
 from .buffer_pool import BufferPool, ClockBufferPool, FifoBufferPool, make_buffer_pool
 from .device import BlockDevice, BlockFile, StorageStats, PHASES
+from .faults import DeviceFaultModel
+from .integrity import (ChecksumError, PersistentIOError, ScrubReport,
+                        StorageFault, TransientIOError, block_crc)
 from .pager import Pager
 from .persist import load_device, save_device
 from .profile import HDD, NULL_DEVICE, SSD, DiskProfile
@@ -17,16 +20,23 @@ __all__ = [
     "BlockDevice",
     "BlockFile",
     "BufferPool",
+    "ChecksumError",
     "ClockBufferPool",
+    "DeviceFaultModel",
     "FifoBufferPool",
     "make_buffer_pool",
+    "block_crc",
     "DiskProfile",
     "HDD",
     "NULL_DEVICE",
     "Pager",
+    "PersistentIOError",
     "load_device",
     "save_device",
     "PHASES",
+    "ScrubReport",
     "SSD",
+    "StorageFault",
     "StorageStats",
+    "TransientIOError",
 ]

@@ -12,6 +12,12 @@ dirty bit: :meth:`BufferPool.mark_dirty` pins the frame's contents as
 newer than the device copy, and eviction of a dirty frame hands the frame
 to the ``on_evict`` callback (the pager's single-frame flush) before the
 frame is dropped.  Clean evictions never call back — they cost nothing.
+
+Frames can additionally be *pinned* (:meth:`BufferPool.pin`): eviction
+skips pinned frames under every policy, overflowing the capacity bound
+if everything else is pinned.  The pager's quarantine uses this to keep
+a known-good copy of a suspect block resident while the device copy
+awaits repair.
 """
 
 from __future__ import annotations
@@ -41,6 +47,7 @@ class BufferPool:
         self.capacity = capacity
         self._blocks: "OrderedDict[_Key, bytes]" = OrderedDict()
         self._dirty: set = set()
+        self._pinned: set = set()
         self.hits = 0
         self.misses = 0
         self.dirty_evictions = 0
@@ -123,6 +130,35 @@ class BufferPool:
         for key in keys:
             self._dirty.discard(key)
 
+    # -- pinning -------------------------------------------------------------
+
+    def pin(self, file_name: str, block_no: int) -> None:
+        """Exempt a cached frame from eviction (quarantine support)."""
+        key = (file_name, block_no)
+        if key not in self._blocks:
+            raise KeyError(f"cannot pin absent frame {key!r}")
+        self._pinned.add(key)
+
+    def unpin(self, file_name: str, block_no: int) -> None:
+        self._pinned.discard((file_name, block_no))
+
+    def is_pinned(self, file_name: str, block_no: int) -> bool:
+        return (file_name, block_no) in self._pinned
+
+    @property
+    def pinned_count(self) -> int:
+        return len(self._pinned)
+
+    def _evict_overflow(self) -> None:
+        """Evict in policy order until within capacity, skipping pinned
+        frames (the pool may stay over capacity if everything is pinned)."""
+        while len(self._blocks) > self.capacity:
+            victim = next((k for k in self._blocks if k not in self._pinned), None)
+            if victim is None:
+                break
+            victim_data = self._blocks.pop(victim)
+            self._evicted(victim, victim_data)
+
     def get(self, file_name: str, block_no: int) -> Optional[bytes]:
         """Return the cached block or None, updating recency and hit counters."""
         key = (file_name, block_no)
@@ -141,9 +177,7 @@ class BufferPool:
         key = (file_name, block_no)
         self._blocks[key] = data
         self._blocks.move_to_end(key)
-        while len(self._blocks) > self.capacity:
-            victim, victim_data = self._blocks.popitem(last=False)
-            self._evicted(victim, victim_data)
+        self._evict_overflow()
 
     # -- bulk API -----------------------------------------------------------
     # ``read_span`` probes and back-fills whole runs at once; these do the
@@ -176,9 +210,7 @@ class BufferPool:
             key = (file_name, block_no)
             self._blocks[key] = data
             self._blocks.move_to_end(key)
-        while len(self._blocks) > self.capacity:
-            victim, victim_data = self._blocks.popitem(last=False)
-            self._evicted(victim, victim_data)
+        self._evict_overflow()
 
     def invalidate(self, file_name: str, block_no: int) -> None:
         """Drop one block if present (e.g. the extent holding it was freed).
@@ -189,6 +221,7 @@ class BufferPool:
         key = (file_name, block_no)
         self._blocks.pop(key, None)
         self._dirty.discard(key)
+        self._pinned.discard(key)
 
     def invalidate_file(self, file_name: str) -> None:
         """Drop every cached block of a file (e.g. a deleted PGM level)."""
@@ -196,10 +229,12 @@ class BufferPool:
         for key in stale:
             del self._blocks[key]
             self._dirty.discard(key)
+            self._pinned.discard(key)
 
     def clear(self) -> None:
         self._blocks.clear()
         self._dirty.clear()
+        self._pinned.clear()
 
     @property
     def hit_rate(self) -> float:
@@ -228,9 +263,7 @@ class FifoBufferPool(BufferPool):
             self._blocks[key] = data  # refresh contents, keep queue position
             return
         self._blocks[key] = data
-        while len(self._blocks) > self.capacity:
-            victim, victim_data = self._blocks.popitem(last=False)
-            self._evicted(victim, victim_data)
+        self._evict_overflow()
 
     def _touch(self, key: _Key) -> None:
         """FIFO ignores recency — a bulk hit needs no bookkeeping."""
@@ -241,9 +274,7 @@ class FifoBufferPool(BufferPool):
         for block_no, data in blocks.items():
             # assignment keeps an existing key's queue position (FIFO refresh)
             self._blocks[(file_name, block_no)] = data
-        while len(self._blocks) > self.capacity:
-            victim, victim_data = self._blocks.popitem(last=False)
-            self._evicted(victim, victim_data)
+        self._evict_overflow()
 
 
 class ClockBufferPool(BufferPool):
@@ -277,7 +308,12 @@ class ClockBufferPool(BufferPool):
             self._referenced[key] = True
             return
         while len(self._blocks) >= self.capacity:
+            if all(k in self._pinned for k in self._ring):
+                break  # every frame quarantined: overflow rather than evict
             victim = self._ring[self._hand]
+            if victim in self._pinned:
+                self._hand = (self._hand + 1) % len(self._ring)
+                continue
             if self._referenced.get(victim, False):
                 self._referenced[victim] = False
                 self._hand = (self._hand + 1) % len(self._ring)
@@ -310,6 +346,7 @@ class ClockBufferPool(BufferPool):
         if key in self._blocks:
             del self._blocks[key]
             self._dirty.discard(key)
+            self._pinned.discard(key)
             self._referenced.pop(key, None)
             if key in self._ring:
                 index = self._ring.index(key)

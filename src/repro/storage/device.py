@@ -11,6 +11,14 @@ breakdown can be measured rather than estimated.
 Files can be flagged *memory resident* (Section 6.2 of the paper caches
 inner nodes in RAM): accesses to such files are served for free and are
 not counted as fetched blocks.
+
+Every block additionally carries an out-of-band checksum envelope
+(:mod:`repro.storage.integrity`): charged reads verify the stored
+payload against it and raise :class:`ChecksumError` instead of ever
+serving rotten or torn bytes, and a :class:`DeviceFaultModel`
+(:mod:`repro.storage.faults`) can be attached to inject seeded media
+faults.  Memory-resident accesses model trusted RAM and are neither
+verified nor faulted.
 """
 
 from __future__ import annotations
@@ -18,6 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from .integrity import (ChecksumError, PersistentIOError, TransientIOError,
+                        block_crc)
 from .profile import DiskProfile, HDD
 
 __all__ = ["BlockDevice", "BlockFile", "StorageStats", "PHASES"]
@@ -25,9 +35,11 @@ __all__ = ["BlockDevice", "BlockFile", "StorageStats", "PHASES"]
 #: Phases an index can attribute I/O to; ``default`` catches unattributed I/O.
 #: ``log`` is the write-ahead-log traffic of :mod:`repro.durability`;
 #: ``flush`` is dirty-page write-back traffic (eviction and explicit
-#: :meth:`repro.storage.Pager.flush`).
+#: :meth:`repro.storage.Pager.flush`); ``scrub`` is the checksum-verify
+#: walk of :meth:`repro.storage.Pager.scrub` and ``repair`` the
+#: block-rebuild writes of :mod:`repro.durability.repair`.
 PHASES = ("default", "search", "insert", "smo", "maintenance", "scan",
-          "bulkload", "log", "flush")
+          "bulkload", "log", "flush", "scrub", "repair")
 
 
 @dataclass
@@ -46,6 +58,12 @@ class StorageStats:
     model separates out.  ``coalesced_runs``/``coalesced_blocks`` count
     multi-block contiguous runs served by :meth:`BlockDevice.read_blocks`
     (one positioning charge amortized over the whole run).
+
+    ``checksum_failures`` counts reads that raised ``ChecksumError``
+    instead of serving corrupt bytes; ``io_retries`` counts transient
+    read errors absorbed by the pager's retry/backoff loop; and
+    ``repaired_blocks`` counts blocks rewritten from checkpoint + WAL by
+    the repair path.
     """
 
     reads: int = 0
@@ -57,6 +75,9 @@ class StorageStats:
     write_positionings: int = 0
     coalesced_runs: int = 0
     coalesced_blocks: int = 0
+    checksum_failures: int = 0
+    io_retries: int = 0
+    repaired_blocks: int = 0
     reads_by_phase: Dict[str, int] = field(default_factory=dict)
     writes_by_phase: Dict[str, int] = field(default_factory=dict)
     time_by_phase: Dict[str, float] = field(default_factory=dict)
@@ -78,6 +99,9 @@ class StorageStats:
             write_positionings=self.write_positionings,
             coalesced_runs=self.coalesced_runs,
             coalesced_blocks=self.coalesced_blocks,
+            checksum_failures=self.checksum_failures,
+            io_retries=self.io_retries,
+            repaired_blocks=self.repaired_blocks,
             reads_by_phase=dict(self.reads_by_phase),
             writes_by_phase=dict(self.writes_by_phase),
             time_by_phase=dict(self.time_by_phase),
@@ -104,6 +128,9 @@ class StorageStats:
             write_positionings=self.write_positionings - earlier.write_positionings,
             coalesced_runs=self.coalesced_runs - earlier.coalesced_runs,
             coalesced_blocks=self.coalesced_blocks - earlier.coalesced_blocks,
+            checksum_failures=self.checksum_failures - earlier.checksum_failures,
+            io_retries=self.io_retries - earlier.io_retries,
+            repaired_blocks=self.repaired_blocks - earlier.repaired_blocks,
             reads_by_phase={
                 p: self.reads_by_phase.get(p, 0) - earlier.reads_by_phase.get(p, 0)
                 for p in phases
@@ -135,6 +162,12 @@ class BlockFile:
         self.device = device
         self.name = name
         self.blocks: List[Optional[bytearray]] = []
+        #: out-of-band checksum envelope, one CRC per block — maintained
+        #: by every device write, verified by every charged read.  Bytes
+        #: mutated behind the device's back (bit rot, torn writes, tests
+        #: poking ``blocks`` directly) leave the entry stale, which is
+        #: exactly how the corruption is detected.
+        self.checksums: List[int] = []
         self.memory_resident = False
         self.live_blocks = 0
         self.reads = 0
@@ -155,6 +188,7 @@ class BlockFile:
         start = len(self.blocks)
         bs = self.device.block_size
         self.blocks.extend(bytearray(bs) for _ in range(count))
+        self.checksums.extend(self.device._zero_crc for _ in range(count))
         self.live_blocks += count
         self.device.stats.allocated_blocks += count
         return start
@@ -171,6 +205,10 @@ class BlockFile:
         self.live_blocks -= count
         self.device.stats.freed_blocks += count
 
+    def recompute_checksums(self) -> None:
+        """Rebuild the envelope from the stored bytes (device-image load)."""
+        self.checksums = [block_crc(bytes(b)) for b in self.blocks]
+
     def _check_range(self, start: int, count: int) -> None:
         if start < 0 or count < 0 or start + count > len(self.blocks):
             raise IndexError(
@@ -186,17 +224,25 @@ class BlockDevice:
         block_size: bytes per block (the paper defaults to 4 KiB and
             sweeps 4/8/16 KiB in Section 6.4).
         profile: latency model; defaults to the HDD profile.
+        checksums: verify the per-block checksum envelope on every
+            charged read (the default).  The envelope itself is always
+            *maintained* by writes, so flipping verification on or off
+            never changes block contents or access counts — only whether
+            corruption surfaces as ``ChecksumError`` or as silent bytes.
     """
 
-    def __init__(self, block_size: int = 4096, profile: DiskProfile = HDD) -> None:
+    def __init__(self, block_size: int = 4096, profile: DiskProfile = HDD,
+                 checksums: bool = True) -> None:
         if block_size <= 0:
             raise ValueError(f"block size must be positive, got {block_size}")
         self.block_size = block_size
         self.profile = profile
+        self.checksums = checksums
         self.stats = StorageStats()
         self.files: Dict[str, BlockFile] = {}
         self._phase = "default"
         self._last_access: Optional[tuple] = None  # (file name, block no)
+        self._zero_crc = block_crc(bytes(block_size))
         #: optional per-access hook ``(kind, file_name, block_no, phase,
         #: cost_us)`` with kind "r"/"w", fired for every *charged* access
         #: (memory-resident files excluded) — set by
@@ -205,6 +251,13 @@ class BlockDevice:
         #: optional hook ``(file_name, run_length)`` fired once per
         #: multi-block contiguous run completed by :meth:`read_blocks`.
         self.on_run = None
+        #: optional :class:`repro.storage.faults.DeviceFaultModel`
+        #: injecting seeded media faults into charged accesses.
+        self.fault_model = None
+        #: optional hook ``(kind, file_name, block_no)`` with kind
+        #: "checksum" / "transient" / "persistent", fired when a charged
+        #: read surfaces a fault — set by :meth:`repro.obs.Tracer.bind`.
+        self.on_fault = None
 
     # -- file management ---------------------------------------------------
 
@@ -235,6 +288,7 @@ class BlockDevice:
         handle = self.files.pop(name)
         self.stats.freed_blocks += handle.live_blocks
         handle.blocks = []
+        handle.checksums = []
         handle.live_blocks = 0
 
     # -- phase attribution ---------------------------------------------------
@@ -251,25 +305,57 @@ class BlockDevice:
 
     # -- block I/O ---------------------------------------------------------
 
+    def charge_latency(self, cost_us: float) -> None:
+        """Charge simulated time that is not a block access (retry backoff)."""
+        self.stats.elapsed_us += cost_us
+        phase = self._phase
+        self.stats.time_by_phase[phase] = self.stats.time_by_phase.get(phase, 0.0) + cost_us
+
+    def _maybe_fault_read(self, file: BlockFile, block_no: int) -> None:
+        """Give the fault model its shot at a charged read (cost already paid)."""
+        if self.fault_model is None:
+            return
+        try:
+            self.fault_model.on_read(file, block_no)
+        except TransientIOError:
+            if self.on_fault is not None:
+                self.on_fault("transient", file.name, block_no)
+            raise
+        except PersistentIOError:
+            if self.on_fault is not None:
+                self.on_fault("persistent", file.name, block_no)
+            raise
+
+    def _verified_payload(self, file: BlockFile, block_no: int) -> bytes:
+        """Fetch a charged block's bytes, refusing to serve corrupt data."""
+        data = bytes(file.blocks[block_no])
+        if self.checksums and file.checksums[block_no] != block_crc(data):
+            self.stats.checksum_failures += 1
+            if self.on_fault is not None:
+                self.on_fault("checksum", file.name, block_no)
+            raise ChecksumError(file.name, block_no, "stored payload does not match envelope")
+        return data
+
     def read_block(self, file: BlockFile, block_no: int) -> bytes:
         """Read one block, charging latency unless the file is memory resident."""
         file._check_range(block_no, 1)
-        if not file.memory_resident:
-            sequential = self._last_access == (file.name, block_no - 1)
-            cost = self.profile.read_cost_us(self.block_size, sequential)
-            self.stats.reads += 1
-            if not sequential:
-                self.stats.read_positionings += 1
-            file.reads += 1
-            self.stats.elapsed_us += cost
-            phase = self._phase
-            self.stats.reads_by_phase[phase] = self.stats.reads_by_phase.get(phase, 0) + 1
-            self.stats.time_by_phase[phase] = self.stats.time_by_phase.get(phase, 0.0) + cost
-            self._last_access = (file.name, block_no)
-            if self.on_access is not None:
-                self.on_access("r", file.name, block_no, phase, cost)
-        block = file.blocks[block_no]
-        return bytes(block)
+        if file.memory_resident:
+            return bytes(file.blocks[block_no])
+        sequential = self._last_access == (file.name, block_no - 1)
+        cost = self.profile.read_cost_us(self.block_size, sequential)
+        self.stats.reads += 1
+        if not sequential:
+            self.stats.read_positionings += 1
+        file.reads += 1
+        self.stats.elapsed_us += cost
+        phase = self._phase
+        self.stats.reads_by_phase[phase] = self.stats.reads_by_phase.get(phase, 0) + 1
+        self.stats.time_by_phase[phase] = self.stats.time_by_phase.get(phase, 0.0) + cost
+        self._last_access = (file.name, block_no)
+        if self.on_access is not None:
+            self.on_access("r", file.name, block_no, phase, cost)
+        self._maybe_fault_read(file, block_no)
+        return self._verified_payload(file, block_no)
 
     def read_blocks(self, file: BlockFile, block_nos: List[int]) -> List[bytes]:
         """Read several blocks, coalescing contiguous runs (paper Table 2).
@@ -326,7 +412,8 @@ class BlockDevice:
                 self.stats.coalesced_blocks += 1
             if run_length >= 2:
                 self.stats.coalesced_blocks += 1
-            out.append(bytes(file.blocks[block_no]))
+            self._maybe_fault_read(file, block_no)
+            out.append(self._verified_payload(file, block_no))
         if run_length >= 2 and self.on_run is not None:
             self.on_run(file.name, run_length)
         return out
@@ -353,6 +440,9 @@ class BlockDevice:
             if self.on_access is not None:
                 self.on_access("w", file.name, block_no, phase, cost)
         file.blocks[block_no] = bytearray(data)
+        file.checksums[block_no] = block_crc(bytes(data))
+        if self.fault_model is not None:
+            self.fault_model.on_write(file.name, block_no)
 
     def write_blocks(self, file: BlockFile, writes: List[tuple]) -> None:
         """Write several blocks, coalescing contiguous runs — the write-side
@@ -385,10 +475,14 @@ class BlockDevice:
         if file.memory_resident:
             for block_no, data in writes:
                 file.blocks[block_no] = bytearray(data)
+                file.checksums[block_no] = block_crc(bytes(data))
             return
+        torn_at = None
+        if self.fault_model is not None:
+            torn_at = self.fault_model.torn_index(file, writes)
         phase = self._phase
         run_length = 0
-        for block_no, data in writes:
+        for index, (block_no, data) in enumerate(writes):
             sequential = self._last_access == (file.name, block_no - 1)
             if sequential:
                 run_length += 1
@@ -413,7 +507,20 @@ class BlockDevice:
                 self.stats.coalesced_blocks += 1
             if run_length >= 2:
                 self.stats.coalesced_blocks += 1
-            file.blocks[block_no] = bytearray(data)
+            if index == torn_at:
+                # Torn write: the drive acked from volatile cache but the
+                # final block only made it halfway to the medium.  The
+                # envelope entry keeps the *old* payload's CRC, so the
+                # next read of this block raises ChecksumError — the
+                # fault is silent until then.
+                half = self.block_size // 2
+                old = file.blocks[block_no]
+                file.blocks[block_no] = bytearray(data[:half]) + old[half:]
+            else:
+                file.blocks[block_no] = bytearray(data)
+                file.checksums[block_no] = block_crc(bytes(data))
+                if self.fault_model is not None:
+                    self.fault_model.on_write(file.name, block_no)
         if run_length >= 2 and self.on_run is not None:
             self.on_run(file.name, run_length)
 

@@ -1,0 +1,117 @@
+"""Seeded, deterministic device-level fault injection.
+
+A :class:`DeviceFaultModel` attached to a ``BlockDevice`` perturbs
+*charged* accesses (memory-resident files model trusted RAM and are
+never faulted):
+
+- **bit rot** — with ``bit_rot_rate`` per read, one random bit of the
+  *stored* payload flips before the read is served.  The damage is on
+  the medium, so the block's envelope checksum no longer matches and the
+  device raises ``ChecksumError`` instead of serving the bytes.
+- **torn multi-block writes** — with ``torn_write_rate`` per multi-block
+  ``write_blocks`` call, the write's prefix persists but its final block
+  is caught mid-transfer: the block ends half-new/half-old with a stale
+  checksum entry.  The tear is *silent* at write time (the drive acked
+  from volatile cache); it is detected on the next read of that block.
+- **transient read errors** — with ``transient_error_rate`` per read
+  attempt, the access fails (``TransientIOError``) but the medium is
+  intact; every retry redraws, so bounded retries almost surely succeed.
+- **persistent read errors** — with ``persistent_error_rate`` per read,
+  the block joins ``bad_blocks`` and every subsequent read raises
+  ``PersistentIOError`` until a write remaps it (real drives reallocate
+  grown defects on write).
+
+All draws come from one seeded ``random.Random``: identical seeds and
+access sequences produce identical fault schedules, which the property
+tests rely on.  ``exclude_files`` (default: the WAL) shields files whose
+loss the repair protocol cannot undo — a single-copy log is the
+recovery *source*, not a repair target; production systems mirror it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from .integrity import PersistentIOError, TransientIOError
+
+__all__ = ["DeviceFaultModel"]
+
+
+class DeviceFaultModel:
+    """Seeded fault schedule for a simulated block device."""
+
+    def __init__(self, seed: int = 0, bit_rot_rate: float = 0.0,
+                 torn_write_rate: float = 0.0,
+                 transient_error_rate: float = 0.0,
+                 persistent_error_rate: float = 0.0,
+                 exclude_files: Iterable[str] = ("wal",)):
+        for name, rate in (("bit_rot_rate", bit_rot_rate),
+                           ("torn_write_rate", torn_write_rate),
+                           ("transient_error_rate", transient_error_rate),
+                           ("persistent_error_rate", persistent_error_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        self.rng = random.Random(seed)
+        self.bit_rot_rate = bit_rot_rate
+        self.torn_write_rate = torn_write_rate
+        self.transient_error_rate = transient_error_rate
+        self.persistent_error_rate = persistent_error_rate
+        self.exclude_files: Set[str] = set(exclude_files)
+        #: blocks currently unreadable, as (file_name, block_no)
+        self.bad_blocks: Set[Tuple[str, int]] = set()
+        self.injected_bit_rots = 0
+        self.injected_torn_writes = 0
+        self.injected_transient_errors = 0
+        self.injected_persistent_errors = 0
+        #: torn blocks, recorded for test introspection (the device
+        #: reports nothing at write time — the fault is silent)
+        self.torn_blocks: List[Tuple[str, int]] = []
+
+    def applies_to(self, file_name: str) -> bool:
+        return file_name not in self.exclude_files
+
+    def on_read(self, file, block_no: int) -> None:
+        """Called by the device after charging a read of ``block_no``.
+
+        May rot the stored payload in place, or raise a transient or
+        persistent I/O error.  Checksum verification runs *after* this
+        hook, so rot injected here is caught on this very read.
+        """
+        if not self.applies_to(file.name):
+            return
+        key = (file.name, block_no)
+        if key in self.bad_blocks:
+            raise PersistentIOError(file.name, block_no, "known bad block")
+        if self.persistent_error_rate and self.rng.random() < self.persistent_error_rate:
+            self.bad_blocks.add(key)
+            self.injected_persistent_errors += 1
+            raise PersistentIOError(file.name, block_no, "grown defect")
+        if self.transient_error_rate and self.rng.random() < self.transient_error_rate:
+            self.injected_transient_errors += 1
+            raise TransientIOError(file.name, block_no, "transient read failure")
+        if self.bit_rot_rate and self.rng.random() < self.bit_rot_rate:
+            block = file.blocks[block_no]
+            bit = self.rng.randrange(len(block) * 8)
+            block[bit // 8] ^= 1 << (bit % 8)
+            self.injected_bit_rots += 1
+
+    def torn_index(self, file, pairs: Sequence[Tuple[int, bytes]]) -> Optional[int]:
+        """Whether this multi-block write tears, and at which pair index.
+
+        Returns the index of the torn pair (always the last: the prefix
+        was already on the medium when power was cut mid-transfer) or
+        None for a clean write.
+        """
+        if len(pairs) < 2 or not self.applies_to(file.name):
+            return None
+        if self.torn_write_rate and self.rng.random() < self.torn_write_rate:
+            self.injected_torn_writes += 1
+            torn = len(pairs) - 1
+            self.torn_blocks.append((file.name, pairs[torn][0]))
+            return torn
+        return None
+
+    def on_write(self, file_name: str, block_no: int) -> None:
+        """A completed write remaps the block: clear any grown defect."""
+        self.bad_blocks.discard((file_name, block_no))

@@ -26,15 +26,24 @@ per block.  Durability is preserved by a log-before-data barrier: when a
 :class:`~repro.durability.WriteAheadLog` is attached (see
 :meth:`set_wal`), no dirty page reaches disk before the WAL records
 covering it are durable.
+
+The pager is also where storage faults are absorbed: transient device
+read errors are retried with exponential backoff (charged as simulated
+latency under the current phase), :meth:`scrub` walks allocated blocks
+verifying their checksum envelopes, and :meth:`quarantine` pins a
+known-good copy of a suspect block in the buffer pool so it cannot be
+evicted while the device copy awaits repair.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from .buffer_pool import BufferPool
 from .device import BlockDevice, BlockFile
+from .integrity import (ChecksumError, PersistentIOError, ScrubReport,
+                        TransientIOError)
 
 __all__ = ["Pager"]
 
@@ -55,6 +64,9 @@ class Pager:
         flush_watermark: with ``write_back``, flush all dirty pages as
             soon as their count reaches this value (None = flush only on
             eviction / explicit :meth:`flush` / checkpoint).
+        max_read_retries: how many times a transient device read error
+            is retried (with exponential backoff charged as simulated
+            latency) before it escalates to ``PersistentIOError``.
     """
 
     def __init__(
@@ -64,6 +76,7 @@ class Pager:
         reuse_last_block: bool = True,
         write_back: bool = False,
         flush_watermark: Optional[int] = None,
+        max_read_retries: int = 4,
     ) -> None:
         if write_back and (buffer_pool is None or buffer_pool.capacity == 0):
             raise ValueError(
@@ -72,11 +85,18 @@ class Pager:
         if flush_watermark is not None and flush_watermark < 1:
             raise ValueError(
                 f"flush_watermark must be >= 1, got {flush_watermark}")
+        if max_read_retries < 0:
+            raise ValueError(
+                f"max_read_retries must be non-negative, got {max_read_retries}")
         self.device = device
         self.buffer_pool = buffer_pool
         self.reuse_last_block = reuse_last_block
         self.write_back = write_back
         self.flush_watermark = flush_watermark if write_back else None
+        self.max_read_retries = max_read_retries
+        #: blocks whose device copy is suspect and whose good copy is
+        #: pinned in the buffer pool, as (file_name, block_no)
+        self._quarantined: Set[Tuple[str, int]] = set()
         self._last: Optional[Tuple[str, int, bytes]] = None
         #: batch pin cache: while inside :meth:`batch`, every block that
         #: crosses the pager is pinned here so repeated accesses within
@@ -118,6 +138,46 @@ class Pager:
         finally:
             self.device.set_phase(previous)
 
+    # -- fault absorption ----------------------------------------------------
+
+    def _retrying(self, read):
+        """Run a device read, absorbing transient errors with backoff.
+
+        Each retry charges an exponentially growing backoff (base: the
+        profile's random-read positioning cost — the natural "reissue the
+        request" unit) as simulated latency under the current phase and
+        counts into ``stats.io_retries``.  After ``max_read_retries``
+        failed retries the error escalates to ``PersistentIOError`` for
+        the quarantine/repair machinery.  ``ChecksumError`` is never
+        retried: the damage is on the medium and deterministic.
+        """
+        retries = 0
+        while True:
+            try:
+                return read()
+            except TransientIOError as fault:
+                if retries >= self.max_read_retries:
+                    raise PersistentIOError(
+                        fault.file_name, fault.block_no,
+                        f"transient error persisted through {retries} retries",
+                    ) from fault
+                retries += 1
+                backoff = (self.device.profile.read_positioning_us
+                           * (2 ** (retries - 1)))
+                self.device.stats.io_retries += 1
+                self.device.charge_latency(backoff)
+                if self.tracer is not None:
+                    self.tracer.io_retry(self.device.phase, backoff)
+
+    def _device_read_block(self, file: BlockFile, block_no: int) -> bytes:
+        return self._retrying(lambda: self.device.read_block(file, block_no))
+
+    def _device_read_blocks(self, file: BlockFile, block_nos: List[int]) -> List[bytes]:
+        # A transient error mid-span reissues the whole vectorized read;
+        # already-transferred blocks are re-charged, as a reissued DMA
+        # request would be.
+        return self._retrying(lambda: self.device.read_blocks(file, block_nos))
+
     # -- block-level API -----------------------------------------------------
 
     def read_block(self, file: BlockFile, block_no: int) -> bytes:
@@ -144,7 +204,7 @@ class Pager:
                 if self._batch_depth:
                     self._batch_cache[(file.name, block_no)] = cached
                 return cached
-        data = self.device.read_block(file, block_no)
+        data = self._device_read_block(file, block_no)
         if self.buffer_pool is not None:
             self.buffer_pool.put(file.name, block_no, data)
         if self.reuse_last_block:
@@ -418,7 +478,7 @@ class Pager:
                 out.update(hits)
                 misses = [no for no in misses if no not in hits]
         if misses:
-            payloads = self.device.read_blocks(file, misses)
+            payloads = self._device_read_blocks(file, misses)
             fetched = dict(zip(misses, payloads))
             out.update(fetched)
             if self.buffer_pool is not None:
@@ -498,3 +558,75 @@ class Pager:
     def drop_last_block(self) -> None:
         """Forget the one-block reuse cache (e.g. between measured queries)."""
         self._last = None
+
+    # -- quarantine & scrubbing ----------------------------------------------
+
+    @property
+    def quarantined_blocks(self):
+        return frozenset(self._quarantined)
+
+    def quarantine(self, file_name: str, block_no: int, data: bytes) -> bool:
+        """Pin a known-good copy of a suspect block in the buffer pool.
+
+        While quarantined the frame is exempt from eviction, so every
+        read is served from RAM and the suspect device copy is never
+        consulted.  Returns False when no pool (or a zero-capacity pool)
+        is available to hold the frame — callers then rely on the device
+        copy having been repaired in place.
+        """
+        if self.buffer_pool is None or self.buffer_pool.capacity == 0:
+            return False
+        payload = bytes(data)
+        self.buffer_pool.put(file_name, block_no, payload)
+        self.buffer_pool.pin(file_name, block_no)
+        self._quarantined.add((file_name, block_no))
+        if self.reuse_last_block:
+            self._last = (file_name, block_no, payload)
+        return True
+
+    def release_quarantine(self, file_name: str, block_no: int) -> None:
+        """Unpin a quarantined frame (its device copy verified clean again)."""
+        key = (file_name, block_no)
+        if key in self._quarantined:
+            self._quarantined.discard(key)
+            if self.buffer_pool is not None:
+                self.buffer_pool.unpin(file_name, block_no)
+
+    def scrub(self, file_names: Optional[Iterable[str]] = None) -> ScrubReport:
+        """Walk allocated blocks verifying their checksum envelopes.
+
+        Reads every block of the given files (default: all non-resident
+        files) straight from the device — deliberately bypassing the
+        caches, since the point is to audit the *medium* — under the
+        ``"scrub"`` phase, riding the sequential rate within each file.
+        Transient errors are retried like any other read.  Blocks that
+        fail verification (or are persistently unreadable) are collected
+        in the report; quarantined blocks whose device copy now verifies
+        clean are released.
+        """
+        device = self.device
+        names = sorted(file_names) if file_names is not None else sorted(device.files)
+        report = ScrubReport()
+        start_us = device.stats.elapsed_us
+        previous = device.set_phase("scrub")
+        try:
+            for name in names:
+                handle = device.get_file(name)
+                if handle.memory_resident:
+                    continue
+                for block_no in range(handle.num_blocks):
+                    report.blocks_scanned += 1
+                    try:
+                        self._device_read_block(handle, block_no)
+                    except (ChecksumError, PersistentIOError):
+                        report.bad_blocks.append((name, block_no))
+        finally:
+            device.set_phase(previous)
+        bad = set(report.bad_blocks)
+        scanned_files = set(names)
+        for key in sorted(self._quarantined):
+            if key[0] in scanned_files and key not in bad:
+                self.release_quarantine(*key)
+                report.released.append(key)
+        report.elapsed_us = device.stats.elapsed_us - start_us
+        return report

@@ -96,6 +96,9 @@ def load_device(source: Union[str, BinaryIO],
             ]
             handle.live_blocks = live_blocks
             handle.memory_resident = bool(resident)
+            # The image stores payloads only; the out-of-band checksum
+            # envelope is rebuilt from them (a clean image verifies).
+            handle.recompute_checksums()
         # Loading is not an I/O event: reset the allocation counter the
         # create_file/blocks assignment path did not touch anyway.
         device.stats.allocated_blocks = sum(

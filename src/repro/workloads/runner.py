@@ -27,10 +27,15 @@ import numpy as np
 from ..core.interface import DiskIndex
 from ..durability.faults import CrashError, FaultInjector
 from ..obs.metrics import Histogram, io_bounds, latency_bounds
-from ..storage import Pager
+from ..storage import Pager, StorageFault
 from .spec import Operation
 
 __all__ = ["RunResult", "run_workload", "bulk_load_timed"]
+
+#: Per-operation cap on heal-and-retry rounds: a device corrupting one
+#: operation's blocks faster than they can be repaired surfaces the fault
+#: instead of spinning.
+_MAX_HEAL_ATTEMPTS = 5
 
 
 @dataclass
@@ -72,6 +77,11 @@ class RunResult:
     # -- write-back accounting (zero unless the pager buffers writes) --
     flushes: int = 0           # explicit/watermark dirty flushes that wrote
     dirty_evictions: int = 0   # dirty frames written back at eviction
+    # -- self-healing storage (zero on a clean device) --
+    io_retries: int = 0          # transient read errors absorbed with backoff
+    checksum_failures: int = 0   # reads the checksum envelope refused to serve
+    repaired_blocks: int = 0     # blocks rebuilt from checkpoint + WAL redo
+    healed_faults: int = 0       # storage faults a SelfHealer absorbed
     # -- observability (histogram digests: count/mean/p50/p90/p99/max) --
     p90_latency_us: float = 0.0
     max_latency_us: float = 0.0
@@ -138,7 +148,7 @@ def run_workload(index: DiskIndex, ops: Sequence[Operation], workload: str = "",
                  scan_length: int = 100, keep_latencies: bool = False,
                  validate: bool = False,
                  fault_injector: Optional[FaultInjector] = None,
-                 tracer=None, batch: int = 1) -> RunResult:
+                 tracer=None, batch: int = 1, healer=None) -> RunResult:
     """Execute ``ops`` against a loaded index and collect metrics.
 
     Args:
@@ -168,6 +178,14 @@ def run_workload(index: DiskIndex, ops: Sequence[Operation], workload: str = "",
             equally across its operations for latency reporting.  With a
             tracer, one span covers each group.  Incompatible with
             ``fault_injector`` (crash-at-op semantics are per-op).
+        healer: optional :class:`repro.durability.SelfHealer`.  A
+            ``StorageFault`` escaping an operation is handed to it: after
+            an in-place repair the operation is re-executed (``"retry"``),
+            after a full restore of a half-applied mutation it is counted
+            done (``"applied"`` — the WAL replay included it).  Repair
+            I/O is charged to the device, so the healed operation's
+            latency includes it.  Unhealable faults propagate.  Requires
+            ``batch=1`` (fault attribution is per-op).
 
     Mutating operations go through the ``durable_*`` log-then-apply path
     whenever the index has a WAL attached; on a clean finish the WAL's
@@ -179,6 +197,8 @@ def run_workload(index: DiskIndex, ops: Sequence[Operation], workload: str = "",
         raise ValueError("batch must be >= 1")
     if batch > 1 and fault_injector is not None:
         raise ValueError("fault injection is per-op; run it with batch=1")
+    if batch > 1 and healer is not None:
+        raise ValueError("self-healing is per-op; run it with batch=1")
     pager: Pager = index.pager
     device = pager.device
     wal = index.wal
@@ -196,34 +216,63 @@ def run_workload(index: DiskIndex, ops: Sequence[Operation], workload: str = "",
     latencies = np.empty(len(ops), dtype=np.float64)
     executed = len(ops)
     crashed_at: Optional[int] = None
+    healed_faults = 0
+
+    def apply_op(kind: str, key: int) -> None:
+        if kind == "lookup":
+            result = index.lookup(key)
+            if validate and result != key + 1:
+                raise AssertionError(
+                    f"lookup({key}) returned {result}, expected {key + 1}")
+        elif kind == "insert":
+            if wal is not None:
+                index.durable_insert(key, key + 1)
+            else:
+                index.insert(key, key + 1)
+        elif kind == "scan":
+            result = index.scan(key, scan_length)
+            if validate and (not result or result[0][0] != key):
+                raise AssertionError(f"scan({key}) did not start at the key")
+        else:
+            raise ValueError(f"unknown operation kind {kind!r}")
 
     try:
         if batch == 1:
             for i, (kind, key) in enumerate(ops):
                 if fault_injector is not None:
                     fault_injector.maybe_crash(i)
-                if tracer is not None:
-                    tracer.begin_op(kind, key, i)
                 before_us = device.stats.elapsed_us
-                if kind == "lookup":
-                    result = index.lookup(key)
-                    if validate and result != key + 1:
-                        raise AssertionError(
-                            f"lookup({key}) returned {result}, expected {key + 1}")
-                elif kind == "insert":
-                    if wal is not None:
-                        index.durable_insert(key, key + 1)
-                    else:
-                        index.insert(key, key + 1)
-                elif kind == "scan":
-                    result = index.scan(key, scan_length)
-                    if validate and (not result or result[0][0] != key):
-                        raise AssertionError(f"scan({key}) did not start at the key")
-                else:
-                    raise ValueError(f"unknown operation kind {kind!r}")
+                event = None
+                attempts = 0
+                while True:
+                    if tracer is not None:
+                        tracer.begin_op(kind, key, i)
+                    try:
+                        apply_op(kind, key)
+                    except StorageFault as fault:
+                        if tracer is not None:
+                            tracer.end_op()  # the span the fault cut short
+                        attempts += 1
+                        action = None
+                        if healer is not None and attempts <= _MAX_HEAL_ATTEMPTS:
+                            action = healer.handle(
+                                fault, mutating=(kind == "insert"))
+                        if action == "retry":
+                            healed_faults += 1
+                            continue
+                        if action == "applied":
+                            # the full restore replayed this operation's
+                            # WAL record — executing it again would
+                            # double-apply
+                            healed_faults += 1
+                            break
+                        raise
+                    if tracer is not None:
+                        event = tracer.end_op()
+                    break
+                # healed ops pay for their failed attempts and the repair
                 latencies[i] = device.stats.elapsed_us - before_us
-                if tracer is not None:
-                    event = tracer.end_op()
+                if event is not None:
                     for phase, us in event["us_by_phase"].items():
                         hist = phase_hists.get(phase)
                         if hist is None:
@@ -251,22 +300,8 @@ def run_workload(index: DiskIndex, ops: Sequence[Operation], workload: str = "",
                                 raise AssertionError(
                                     f"lookup({k}) returned {result}, "
                                     f"expected {k + 1}")
-                elif kind == "lookup":
-                    result = index.lookup(key)
-                    if validate and result != key + 1:
-                        raise AssertionError(
-                            f"lookup({key}) returned {result}, expected {key + 1}")
-                elif kind == "insert":
-                    if wal is not None:
-                        index.durable_insert(key, key + 1)
-                    else:
-                        index.insert(key, key + 1)
-                elif kind == "scan":
-                    result = index.scan(key, scan_length)
-                    if validate and (not result or result[0][0] != key):
-                        raise AssertionError(f"scan({key}) did not start at the key")
                 else:
-                    raise ValueError(f"unknown operation kind {kind!r}")
+                    apply_op(kind, key)
                 # the group's simulated cost, shared evenly per op
                 share = (device.stats.elapsed_us - before_us) / size
                 latencies[unit_start : unit_start + size] = share
@@ -355,6 +390,10 @@ def run_workload(index: DiskIndex, ops: Sequence[Operation], workload: str = "",
         dirty_evictions=(
             pager.buffer_pool.dirty_evictions - dirty_evictions_before
             if pager.buffer_pool is not None else 0),
+        io_retries=delta.io_retries,
+        checksum_failures=delta.checksum_failures,
+        repaired_blocks=delta.repaired_blocks,
+        healed_faults=healed_faults,
         p90_latency_us=float(np.percentile(latencies, 90)) if executed else 0.0,
         max_latency_us=float(latencies.max()) if executed else 0.0,
         op_latency_histograms={k: h.summary() for k, h in op_hists.items()},

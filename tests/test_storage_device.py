@@ -236,3 +236,29 @@ def test_diff_reports_phase_first_seen_after_snapshot(device):
     delta = device.stats.diff(snap)
     assert delta.writes_by_phase["maintenance"] == 1
     assert delta.time_by_phase["maintenance"] > 0
+
+
+_counters = st.tuples(st.integers(0, 10**6), st.integers(0, 10**6),
+                      st.integers(0, 10**6))
+
+
+@settings(max_examples=60, deadline=None)
+@given(_counters, _counters)
+def test_snapshot_diff_round_trips_fault_counters(early, late):
+    """The self-healing counters (io_retries / checksum_failures /
+    repaired_blocks) obey the same rule as every other stat: the delta
+    recovers exactly what accumulated between snapshot and diff, and the
+    snapshot itself is a faithful, unaliased copy."""
+    earlier = StorageStats(io_retries=early[0], checksum_failures=early[1],
+                           repaired_blocks=early[2])
+    later = StorageStats(io_retries=early[0] + late[0],
+                         checksum_failures=early[1] + late[1],
+                         repaired_blocks=early[2] + late[2])
+    snap = earlier.snapshot()
+    delta = later.diff(snap)
+    assert delta.io_retries == late[0]
+    assert delta.checksum_failures == late[1]
+    assert delta.repaired_blocks == late[2]
+    assert (snap.io_retries, snap.checksum_failures, snap.repaired_blocks) == early
+    later.io_retries += 1  # mutating the live stats must not touch the snapshot
+    assert snap.io_retries == early[0]
