@@ -125,7 +125,10 @@ def fresh_index(index_name: str, dataset: str, workload: str, scale: Scale,
                 inner_memory_resident: bool = False, with_wal: bool = False,
                 wal_group_commit: Optional[int] = None,
                 write_back: bool = False, buffer_policy: str = "lru",
-                flush_watermark: Optional[int] = None) -> IndexSetup:
+                flush_watermark: Optional[int] = None,
+                lookup_distribution: str = "uniform", zipf_s: float = 0.99,
+                hotspot_fraction: float = 0.2,
+                hotspot_probability: float = 0.8) -> IndexSetup:
     """Build a device + index + workload for one experiment cell.
 
     ``with_wal`` attaches a write-ahead log (on the same device, as in a
@@ -140,6 +143,11 @@ def fresh_index(index_name: str, dataset: str, workload: str, scale: Scale,
     optionally bounds how many dirty pages accumulate before a forced
     flush.  The module-level :func:`set_write_back` override (the CLI's
     ``--write-back N``) forces write-back on every cell.
+
+    ``lookup_distribution`` (with ``zipf_s`` / ``hotspot_fraction`` /
+    ``hotspot_probability``) skews the workload's lookup and scan targets
+    — see :data:`repro.workloads.DISTRIBUTIONS`; the default is the
+    paper's uniform sampling.
     """
     spec = WORKLOADS[workload]
     if spec.bulk_all:
@@ -155,7 +163,11 @@ def fresh_index(index_name: str, dataset: str, workload: str, scale: Scale,
         # insert keys, so the bulk size matches the paper's setup exactly.
         n_keys = scale.n_write_bulk + num_inserts
     keys = make_dataset(dataset, n_keys, seed=scale.seed)
-    bulk_items, ops = build_workload(spec, keys, num_ops, seed=scale.seed)
+    bulk_items, ops = build_workload(
+        spec, keys, num_ops, seed=scale.seed,
+        lookup_distribution=lookup_distribution, zipf_s=zipf_s,
+        hotspot_fraction=hotspot_fraction,
+        hotspot_probability=hotspot_probability)
 
     if _WRITE_BACK_BLOCKS > 0:
         write_back = True

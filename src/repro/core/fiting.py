@@ -344,8 +344,11 @@ class FitingTreeIndex(DiskIndex):
         with self.pager.phase("insert"):
             slot = _insert_position(buffered, key)
             if slot < len(buffered) and buffered[slot][0] == key:
-                raise KeyError(f"duplicate key {key}")
-            buffered.insert(slot, (key, payload))
+                if buffered[slot][1] != TOMBSTONE:
+                    raise KeyError(f"duplicate key {key}")
+                buffered[slot] = (key, payload)  # re-insert over a tombstone
+            else:
+                buffered.insert(slot, (key, payload))
             if len(buffered) <= header.buffer_capacity:
                 # Rewrite the buffer tail from the insertion point and bump the
                 # header count (the extra block write the paper attributes to
@@ -368,8 +371,11 @@ class FitingTreeIndex(DiskIndex):
             entries = unpack_entries(raw, count, offset=16)
             slot = _insert_position(entries, key)
             if slot < len(entries) and entries[slot][0] == key:
-                raise KeyError(f"duplicate key {key}")
-            entries.insert(slot, (key, payload))
+                if entries[slot][1] != TOMBSTONE:
+                    raise KeyError(f"duplicate key {key}")
+                entries[slot] = (key, payload)  # re-insert over a tombstone
+            else:
+                entries.insert(slot, (key, payload))
             if len(entries) <= self._head_capacity:
                 block = bytearray(self.pager.block_size)
                 block[0:16] = _HEAD_HEADER.pack(len(entries)).ljust(16, b"\x00")
@@ -482,7 +488,8 @@ class FitingTreeIndex(DiskIndex):
             count = _HEAD_HEADER.unpack_from(raw, 0)[0]
             entries = unpack_entries(raw, count, offset=16)
             slot = _insert_position(entries, key)
-            if slot >= len(entries) or entries[slot][0] != key:
+            if slot >= len(entries) or entries[slot][0] != key \
+                    or entries[slot][1] == TOMBSTONE:
                 return False
             self.pager.write_bytes(self._data, 16 + slot * ENTRY_SIZE,
                                    pack_entries([(key, payload)]))
@@ -491,25 +498,41 @@ class FitingTreeIndex(DiskIndex):
         if located is None:
             return False
         first_key, (seg_block, _extent, data_cap, _buf_cap, slope, intercept) = located
-        header = self._read_header(seg_block)
-        # Delta buffer first: it shadows the data region.
-        buffered = self._read_buffer(seg_block, header)
-        slot = _insert_position(buffered, key)
-        if slot < len(buffered) and buffered[slot][0] == key:
-            self.pager.write_bytes(
-                self._data, self._buffer_offset(seg_block, header.data_capacity, slot),
-                pack_entries([(key, payload)]))
-            return True
-        lo, hi = self._predict_range(first_key, slope, intercept, key,
-                                     header.item_count)
+        # Mirror the lookup's precedence exactly: a live data-region entry
+        # is the copy readers see, so it is the copy updates and deletes
+        # must hit; the delta buffer is consulted only when the data
+        # region misses or holds a tombstone.
+        lo, hi = self._predict_range(first_key, slope, intercept, key, data_cap)
         entries = self._read_data_range(seg_block, lo, hi)
         pos = _insert_position(entries, key)
-        if pos >= len(entries) or entries[pos][0] != key:
+        if pos < len(entries) and entries[pos][0] == key \
+                and entries[pos][1] != TOMBSTONE:
+            self.pager.write_bytes(self._data,
+                                   self._data_offset(seg_block, lo + pos),
+                                   pack_entries([(key, payload)]))
+            # Write through to a buffered duplicate (a shadowing insert)
+            # so every copy a reader could reach carries the same payload
+            # — otherwise tombstoning the data copy would expose a stale
+            # buffered one.
+            header = self._read_header(seg_block)
+            buffered = self._read_buffer(seg_block, header)
+            slot = _insert_position(buffered, key)
+            if slot < len(buffered) and buffered[slot][0] == key:
+                self.pager.write_bytes(
+                    self._data,
+                    self._buffer_offset(seg_block, header.data_capacity, slot),
+                    pack_entries([(key, payload)]))
+            return True
+        header = self._read_header(seg_block)
+        buffered = self._read_buffer(seg_block, header)
+        slot = _insert_position(buffered, key)
+        if slot >= len(buffered) or buffered[slot][0] != key:
             return False
-        if entries[pos][1] == TOMBSTONE and payload == TOMBSTONE:
-            return False  # deleting an already-deleted key
-        self.pager.write_bytes(self._data, self._data_offset(seg_block, lo + pos),
-                               pack_entries([(key, payload)]))
+        if buffered[slot][1] == TOMBSTONE:
+            return False  # deleted (the buffered tombstone shadows)
+        self.pager.write_bytes(
+            self._data, self._buffer_offset(seg_block, header.data_capacity, slot),
+            pack_entries([(key, payload)]))
         return True
 
     # -- scan ---------------------------------------------------------------------------
@@ -704,8 +727,10 @@ def _insert_position(entries: List[KeyPayload], key: int) -> int:
 
 
 def _merge_sorted(a: List[KeyPayload], b: List[KeyPayload]) -> List[KeyPayload]:
-    """Merge two key-sorted entry lists; on equal keys ``b`` (the delta
-    buffer) wins, so a buffered re-insert shadows the data region."""
+    """Merge two key-sorted entry lists; on equal keys a *live* ``a``
+    (data region) entry wins — the copy lookups serve — while a
+    tombstoned one yields to ``b`` (the delta buffer), so a buffered
+    re-insert after a delete still shadows the dead data entry."""
     out: List[KeyPayload] = []
     i = j = 0
     while i < len(a) and j < len(b):
@@ -716,7 +741,7 @@ def _merge_sorted(a: List[KeyPayload], b: List[KeyPayload]) -> List[KeyPayload]:
             out.append(b[j])
             j += 1
         else:
-            out.append(b[j])
+            out.append(a[i] if a[i][1] != TOMBSTONE else b[j])
             i += 1
             j += 1
     out.extend(a[i:])

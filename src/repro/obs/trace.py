@@ -47,7 +47,12 @@ __all__ = ["Tracer", "TRACE_SCHEMA_VERSION"]
 #: block transfer, so :meth:`Tracer.io_retry` folds it into the span's and
 #: the running ``us_by_phase`` totals directly — reconciliation stays
 #: bitwise.
-TRACE_SCHEMA_VERSION = 3
+#: 4: added per-span ``latch_waits``/``latch_wait_us`` (concurrent
+#: serving engine).  Latch stalls are charged like retry backoff — pure
+#: latency under the ``"latch"`` phase, no block transferred — so
+#: :meth:`Tracer.latch_wait` folds them into the span's and the running
+#: ``us_by_phase`` totals the same way, keeping reconciliation bitwise.
+TRACE_SCHEMA_VERSION = 4
 
 
 def _blank_span(type_: str) -> dict:
@@ -71,6 +76,8 @@ def _blank_span(type_: str) -> dict:
         "io_retries": 0,
         "checksum_failures": 0,
         "repaired_blocks": 0,
+        "latch_waits": 0,
+        "latch_wait_us": 0.0,
     }
 
 
@@ -197,7 +204,8 @@ class Tracer:
                       "coalesced_runs", "coalesced_blocks",
                       "wal_records", "wal_flushes",
                       "flushes", "flushed_blocks", "dirty_evictions",
-                      "io_retries", "checksum_failures", "repaired_blocks"):
+                      "io_retries", "checksum_failures", "repaired_blocks",
+                      "latch_waits", "latch_wait_us"):
             agg[field] += event[field]
         self.dropped_ops += 1
 
@@ -267,6 +275,21 @@ class Tracer:
         span["io_retries"] += 1
         span["us_by_phase"][phase] = span["us_by_phase"].get(phase, 0.0) + backoff_us
         self._total_us[phase] = self._total_us.get(phase, 0.0) + backoff_us
+
+    def latch_wait(self, backoff_us: float) -> None:
+        """Serving engine stalled the current op on another session's latch.
+
+        Like :meth:`io_retry`, the stall is pure latency — no block
+        transferred — so it does not pass through :meth:`_on_access`; it
+        is added to the span's and the running per-phase µs totals here
+        (under the ``"latch"`` phase), mirroring the order the device
+        charges it, to keep reconciliation bitwise.
+        """
+        span = self._current if self._current is not None else self._background
+        span["latch_waits"] += 1
+        span["latch_wait_us"] += backoff_us
+        span["us_by_phase"]["latch"] = span["us_by_phase"].get("latch", 0.0) + backoff_us
+        self._total_us["latch"] = self._total_us.get("latch", 0.0) + backoff_us
 
     def _on_fault(self, kind: str, file_name: str, block_no: int) -> None:
         """BlockDevice hook: the read path hit an injected fault.

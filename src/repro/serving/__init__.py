@@ -1,0 +1,34 @@
+"""Concurrent multi-client serving engine.
+
+Everything below the workload runner serves exactly one op stream; this
+package interleaves N client streams over one shared index under the
+simulated clock:
+
+* :class:`Session` — one client's op queue plus its per-client metrics
+  (latency samples, latch/commit waits, dispatch gaps);
+* :class:`LatchManager` — frame-grain latches on the shared buffer pool
+  and index structure, on the virtual timeline; conflicting accesses
+  charge simulated latch-wait time the way the device charges
+  positioning;
+* :class:`ServingEngine` — a fair (minimum-virtual-time) scheduler that
+  dispatches ops in simulated-time order, fills WAL commit groups from
+  *all* sessions' pending writes (cross-client group commit), and serves
+  reads snapshot-consistently pinned to the WAL's durable LSN so readers
+  never wait on writer latches.
+
+:func:`repro.workloads.run_workload` drives the engine via its
+``clients=N`` / ``client_ops=...`` arguments and folds the engine's
+report into the usual :class:`~repro.workloads.RunResult`.
+"""
+
+from .engine import ServeReport, ServingEngine, split_ops
+from .latch import LatchManager
+from .session import Session
+
+__all__ = [
+    "LatchManager",
+    "ServeReport",
+    "ServingEngine",
+    "Session",
+    "split_ops",
+]

@@ -1,0 +1,436 @@
+"""The multi-client scheduler: fair dispatch, cross-client group commit,
+snapshot reads.
+
+The engine interleaves N sessions' op streams over one shared index.
+Ops execute serially against the simulated device (one disk serializes
+the I/O anyway), but each session keeps a *virtual clock*, and the
+scheduler always dispatches the session whose clock is smallest — a
+minimum-virtual-time policy that is fair by construction and orders
+dispatches in simulated-time order.  Three concurrency phenomena are
+modeled on that virtual timeline:
+
+**Latching.**  While an op "runs" (its virtual interval), the frames it
+read are held shared and the frames it wrote exclusive
+(:class:`~repro.serving.latch.LatchManager`).  A conflicting access
+stalls until the hold releases; the stall is charged to the device under
+the ``"latch"`` phase — simulated time, exactly like positioning — and
+counted in ``StorageStats`` and the op's trace span.
+
+**Cross-client group commit.**  A write appends its WAL record and the
+session then *blocks awaiting durability* (synchronous commit: nothing
+is acknowledged before it is on disk).  The scheduler keeps dispatching
+other sessions, so the commit group fills with records from every
+client, and one log flush acknowledges them all — flushes per committed
+write fall as client count grows.  A group flushes when it reaches
+capacity, when every live session is blocked on it, when the oldest
+waiter has waited ``commit_timeout_us`` of virtual time, or at the end
+of the run.
+
+**Snapshot reads.**  With ``snapshot_reads=True`` (the default), lookups
+and scans are pinned to the WAL's durable LSN: a key whose insert is
+appended but not yet durable is invisible, and the read neither consults
+nor takes any latch — readers never wait on writers, and charge zero
+latch-wait time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.interface import DiskIndex
+from ..durability.faults import CrashError, FaultInjector
+from ..obs.metrics import Histogram, io_bounds, latency_bounds
+from ..workloads.spec import Operation
+from .latch import LatchManager
+from .session import Session
+
+__all__ = ["ServeReport", "ServingEngine", "split_ops"]
+
+
+def split_ops(ops: Sequence[Operation], clients: int) -> List[List[Operation]]:
+    """Deal one op stream round-robin to ``clients`` sessions.
+
+    Stream order is preserved within each client, so a key is always
+    inserted by exactly one session; lookups may race ahead of the
+    insert that created their key — which is precisely the visibility
+    question snapshot reads answer.
+    """
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+    return [list(ops[i::clients]) for i in range(clients)]
+
+
+@dataclass
+class _WaitingCommit:
+    """One writer blocked awaiting group-commit durability."""
+
+    session: Session
+    seqno: int
+    key: int
+    payload: int
+    start_v: float      # virtual time the op was dispatched
+    end_v: float        # virtual time the op's device work finished
+    dispatch_index: int
+
+
+@dataclass
+class ServeReport:
+    """Everything one engine run measured, before RunResult folding."""
+
+    sessions: List[Session]
+    executed: int
+    #: client-perceived µs per completed op, in dispatch order.
+    latencies_us: np.ndarray
+    #: op kind per completed op, aligned with ``latencies_us``.
+    op_kinds: List[str]
+    #: acknowledged writes as ``(seqno, key, payload)``, in commit order.
+    committed: List[Tuple[int, int, int]]
+    commit_groups: List[int] = field(default_factory=list)
+    commit_waits: int = 0
+    commit_wait_us: float = 0.0
+    latch_waits: int = 0
+    latch_wait_us: float = 0.0
+    read_latch_wait_us: float = 0.0
+    write_latch_wait_us: float = 0.0
+    snapshot_reads: int = 0
+    snapshot_suppressed: int = 0
+    crashed_at_op: Optional[int] = None
+    #: per-phase per-op µs digests (only when a tracer was attached).
+    phase_hists: Optional[Dict[str, Histogram]] = None
+    #: per-op-type blocks-touched digests (only when traced).
+    io_hists: Optional[Dict[str, Histogram]] = None
+    #: per client, per phase, the per-op µs digest (only when traced).
+    client_phase_hists: Optional[Dict[int, Dict[str, Histogram]]] = None
+
+    @property
+    def committed_writes(self) -> int:
+        return len(self.committed)
+
+    @property
+    def mean_commit_group(self) -> float:
+        if not self.commit_groups:
+            return 0.0
+        return sum(self.commit_groups) / len(self.commit_groups)
+
+
+class ServingEngine:
+    """Interleave N client op streams over one shared index.
+
+    Args:
+        index: a bulk-loaded index (optionally with a WAL attached —
+            required for group commit; without one, writes are
+            acknowledged immediately).
+        client_ops: one op stream per client.
+        scan_length: elements per scan operation.
+        validate: assert every lookup returns ``key + 1`` or None (the
+            payload convention), and that snapshot suppression only ever
+            hides genuinely not-yet-durable keys.
+        snapshot_reads: serve lookups/scans at the WAL's durable LSN
+            without taking latches (see module docstring).  With False,
+            reads take shared latches and wait on writers.
+        latching: model frame latches at all.  False turns the engine
+            into a pure interleaver (used by equivalence tests).
+        commit_group: commit-group capacity; a flush triggers when this
+            many writers are pending.  Default: ``max(8, clients)``.
+        commit_timeout_us: flush when the oldest pending writer has
+            waited this much virtual time (None disables the timer).
+        tracer: optional :class:`repro.obs.Tracer`; one span per op,
+            latch stalls folded into the span under the ``"latch"``
+            phase.  Defaults to the index's attached tracer.
+        fault_injector: optional crash injector; ``maybe_crash`` fires
+            on global dispatch indices, and the crash drops the WAL
+            buffer and dirty pages exactly as in the single-client
+            runner — blocked writers are never acknowledged.
+    """
+
+    def __init__(self, index: DiskIndex, client_ops: Sequence[Sequence[Operation]],
+                 *, scan_length: int = 100, validate: bool = False,
+                 snapshot_reads: bool = True, latching: bool = True,
+                 commit_group: Optional[int] = None,
+                 commit_timeout_us: Optional[float] = 10_000.0,
+                 tracer=None, fault_injector: Optional[FaultInjector] = None) -> None:
+        if not client_ops:
+            raise ValueError("need at least one client op stream")
+        if commit_group is not None and commit_group < 1:
+            raise ValueError(f"commit_group must be >= 1, got {commit_group}")
+        if commit_timeout_us is not None and commit_timeout_us <= 0:
+            raise ValueError(
+                f"commit_timeout_us must be positive, got {commit_timeout_us}")
+        self.index = index
+        self.pager = index.pager
+        self.device = index.pager.device
+        self.wal = index.wal
+        self.scan_length = scan_length
+        self.validate = validate
+        self.snapshot_reads = snapshot_reads
+        self.latching = latching
+        self.commit_group = (commit_group if commit_group is not None
+                             else max(8, len(client_ops)))
+        self.commit_timeout_us = commit_timeout_us
+        self.tracer = tracer if tracer is not None else getattr(index, "tracer", None)
+        self.fault_injector = fault_injector
+        self.sessions = [Session(i, ops) for i, ops in enumerate(client_ops)]
+        self.latches = LatchManager()
+        #: key -> seqno of its appended-but-not-yet-durable insert.
+        self._pending_keys: Dict[int, int] = {}
+        self._waiting: List[_WaitingCommit] = []
+        self._committed: List[Tuple[int, int, int]] = []
+        self._commit_groups: List[int] = []
+        self._completed: List[Tuple[int, str, float]] = []  # (dispatch, kind, us)
+        self._dispatch_count = 0
+        self._cur_reads: set = set()
+        self._cur_writes: set = set()
+        self._phase_hists: Dict[str, Histogram] = {}
+        self._io_hists: Dict[str, Histogram] = {}
+        self._client_phase_hists: Dict[int, Dict[str, Histogram]] = {}
+
+    # -- footprint capture ---------------------------------------------------
+
+    def _note_access(self, kind: str, file_name: str, block_no: int) -> None:
+        """Pager hook: record the frame in the in-flight op's footprint."""
+        if kind == "r":
+            self._cur_reads.add((file_name, block_no))
+        else:
+            self._cur_writes.add((file_name, block_no))
+
+    # -- group commit --------------------------------------------------------
+
+    def _should_flush(self, next_start_v: float) -> bool:
+        if not self._waiting:
+            return False
+        if len(self._waiting) >= self.commit_group:
+            return True
+        if self.commit_timeout_us is not None:
+            return self._waiting[0].end_v + self.commit_timeout_us <= next_start_v
+        return False
+
+    def _flush_group(self, trigger_v: Optional[float] = None) -> None:
+        """Force the WAL durable and acknowledge every covered waiter.
+
+        The flush's device time lands at ``max`` of the group's virtual
+        end times (the disk cannot start the log write before the last
+        record of the group exists) — or at ``trigger_v`` when the
+        commit timer fired later than that.
+        """
+        if self.wal is None or not self._waiting:
+            return
+        base_v = max(waiter.end_v for waiter in self._waiting)
+        if trigger_v is not None and trigger_v > base_v:
+            base_v = trigger_v
+        before_us = self.device.stats.elapsed_us
+        self.wal.flush()
+        ack_v = base_v + (self.device.stats.elapsed_us - before_us)
+        durable = self.wal.durable_seqno
+        acked = [w for w in self._waiting if w.seqno <= durable]
+        if not acked:
+            return
+        self._waiting = [w for w in self._waiting if w.seqno > durable]
+        self._commit_groups.append(len(acked))
+        for waiter in acked:
+            session = waiter.session
+            wait_us = ack_v - waiter.end_v
+            session.commit_waits += 1
+            session.commit_wait_us += wait_us
+            session.committed_writes += 1
+            latency = ack_v - waiter.start_v
+            session.latencies_us.append(latency)
+            session.op_kinds.append("insert")
+            session.clock_us = ack_v
+            self._completed.append((waiter.dispatch_index, "insert", latency))
+            self._committed.append((waiter.seqno, waiter.key, waiter.payload))
+            self._pending_keys.pop(waiter.key, None)
+            if session.remaining:
+                heapq.heappush(self._heap, (session.clock_us, session.client_id))
+
+    # -- op execution --------------------------------------------------------
+
+    def _record_event(self, event: dict, kind: str, client_id: int) -> None:
+        """Fold one trace event into the global and per-client digests."""
+        for phase, us in event["us_by_phase"].items():
+            hist = self._phase_hists.get(phase)
+            if hist is None:
+                hist = self._phase_hists[phase] = Histogram(latency_bounds())
+            hist.record(us)
+            per_client = self._client_phase_hists.setdefault(client_id, {})
+            chist = per_client.get(phase)
+            if chist is None:
+                chist = per_client[phase] = Histogram(latency_bounds())
+            chist.record(us)
+        blocks = sum(event["reads"].values()) + sum(event["writes"].values())
+        hist = self._io_hists.get(kind)
+        if hist is None:
+            hist = self._io_hists[kind] = Histogram(io_bounds())
+        hist.record(blocks)
+
+    def _dispatch(self, session: Session) -> None:
+        """Execute the session's next op and settle its virtual interval."""
+        g = self._dispatch_count
+        if self.fault_injector is not None:
+            self.fault_injector.maybe_crash(g)
+        self._dispatch_count = g + 1
+        session.dispatch_indices.append(g)
+        kind, key = session.next_op()
+        start_v = session.clock_us
+        snapshot = self.snapshot_reads and kind in ("lookup", "scan")
+        self._cur_reads.clear()
+        self._cur_writes.clear()
+        if self.tracer is not None:
+            self.tracer.begin_op(kind, key, g)
+        before_us = self.device.stats.elapsed_us
+        seqno = None
+        try:
+            if kind == "lookup":
+                result = self.index.lookup(key)
+                if snapshot and key in self._pending_keys:
+                    # The insert is appended but not durable: invisible
+                    # at the snapshot LSN.
+                    result = None
+                    session.snapshot_suppressed += 1
+                if self.validate and result is not None and result != key + 1:
+                    raise AssertionError(
+                        f"lookup({key}) returned {result}, expected {key + 1}")
+            elif kind == "insert":
+                if self.wal is not None:
+                    seqno = self.wal.append("insert", key, key + 1)
+                self.index.insert(key, key + 1)
+            elif kind == "scan":
+                pairs = self.index.scan(key, self.scan_length)
+                if snapshot and self._pending_keys:
+                    pairs = [p for p in pairs if p[0] not in self._pending_keys]
+            else:
+                raise ValueError(f"unknown operation kind {kind!r}")
+            delta_us = self.device.stats.elapsed_us - before_us
+            # Latch accounting happens inside the span so the stall shows
+            # up in the op's trace event under the "latch" phase.
+            if snapshot:
+                session.snapshot_reads += 1
+                begin_v = start_v
+            elif self.latching:
+                reads = frozenset(self._cur_reads)
+                writes = frozenset(self._cur_writes)
+                begin_v = self.latches.wait_until(
+                    session.client_id, start_v, reads, writes)
+                wait_us = begin_v - start_v
+                if wait_us > 0:
+                    self.device.charge_latch_wait(wait_us)
+                    if self.tracer is not None:
+                        self.tracer.latch_wait(wait_us)
+                    self.latches.record_wait(wait_us)
+                    session.latch_waits += 1
+                    session.latch_wait_us += wait_us
+                    if kind == "insert":
+                        self._write_latch_wait_us += wait_us
+                    else:
+                        self._read_latch_wait_us += wait_us
+                self.latches.hold(session.client_id, begin_v + delta_us,
+                                  reads, writes)
+                self.latches.prune(start_v)
+            else:
+                begin_v = start_v
+        finally:
+            if self.tracer is not None:
+                event = self.tracer.end_op()
+                self._record_event(event, kind, session.client_id)
+        end_v = begin_v + delta_us
+        if kind == "insert" and self.wal is not None:
+            # Synchronous commit: block until the group flush makes the
+            # record durable.  The session leaves the heap; the flush
+            # acknowledges it and puts it back.
+            self._waiting.append(_WaitingCommit(
+                session, seqno, key, key + 1, start_v, end_v, g))
+            self._pending_keys[key] = seqno
+            return
+        if kind == "insert":
+            # No WAL: nothing to await; the write "commits" on apply.
+            session.committed_writes += 1
+            self._committed.append((0, key, key + 1))
+        latency = end_v - start_v
+        session.latencies_us.append(latency)
+        session.op_kinds.append(kind)
+        session.clock_us = end_v
+        self._completed.append((g, kind, latency))
+        if session.remaining:
+            heapq.heappush(self._heap, (session.clock_us, session.client_id))
+
+    # -- run -----------------------------------------------------------------
+
+    def run(self) -> ServeReport:
+        """Drain every session's queue; return the report.
+
+        On a clean finish the WAL tail is flushed (acknowledging the last
+        group) and the pager's dirty pages are written — the same two
+        phase-boundary flushes the single-client runner performs.  On an
+        injected crash the run stops at that dispatch, the crash's
+        storage effects are applied, and blocked writers stay
+        unacknowledged.
+        """
+        self._heap: List[Tuple[float, int]] = []
+        self._read_latch_wait_us = 0.0
+        self._write_latch_wait_us = 0.0
+        for session in self.sessions:
+            if session.remaining:
+                heapq.heappush(self._heap, (session.clock_us, session.client_id))
+        saved_group = None
+        if self.wal is not None:
+            # The engine owns the flush schedule: disable the WAL's own
+            # count-based trigger for the duration.
+            saved_group = self.wal.group_commit
+            self.wal.group_commit = 2 ** 62
+        saved_hook = self.pager.on_block_access
+        self.pager.on_block_access = self._note_access
+        crashed_at: Optional[int] = None
+        try:
+            while self._heap or self._waiting:
+                if not self._heap:
+                    # Every live session is blocked on the group: flush.
+                    self._flush_group()
+                    continue
+                next_start_v, client_id = self._heap[0]
+                if self._should_flush(next_start_v):
+                    self._flush_group(trigger_v=next_start_v)
+                    continue
+                heapq.heappop(self._heap)
+                self._dispatch(self.sessions[client_id])
+        except CrashError as crash:
+            crashed_at = crash.op_index
+            self.fault_injector.crash(self.wal, crash.op_index, pager=self.pager)
+        finally:
+            self.pager.on_block_access = saved_hook
+            if self.wal is not None and saved_group is not None:
+                self.wal.group_commit = saved_group
+        if crashed_at is None:
+            if self.wal is not None:
+                self.wal.flush()
+            self.pager.flush()
+        return self._report(crashed_at)
+
+    def _report(self, crashed_at: Optional[int]) -> ServeReport:
+        self._completed.sort()
+        latencies = np.array([us for _, _, us in self._completed],
+                             dtype=np.float64)
+        kinds = [kind for _, kind, _ in self._completed]
+        traced = self.tracer is not None
+        return ServeReport(
+            sessions=self.sessions,
+            executed=len(self._completed),
+            latencies_us=latencies,
+            op_kinds=kinds,
+            committed=list(self._committed),
+            commit_groups=list(self._commit_groups),
+            commit_waits=sum(s.commit_waits for s in self.sessions),
+            commit_wait_us=sum(s.commit_wait_us for s in self.sessions),
+            latch_waits=self.latches.waits,
+            latch_wait_us=self.latches.wait_us,
+            read_latch_wait_us=self._read_latch_wait_us,
+            write_latch_wait_us=self._write_latch_wait_us,
+            snapshot_reads=sum(s.snapshot_reads for s in self.sessions),
+            snapshot_suppressed=sum(s.snapshot_suppressed for s in self.sessions),
+            crashed_at_op=crashed_at,
+            phase_hists=self._phase_hists if traced else None,
+            io_hists=self._io_hists if traced else None,
+            client_phase_hists=self._client_phase_hists if traced else None,
+        )

@@ -1,0 +1,126 @@
+"""Frame-grain latching on the virtual timeline.
+
+The engine executes ops serially under the simulated clock, but models
+their *overlap* on a virtual timeline: each op occupies the interval
+``[start, start + device_time]`` of its session's virtual clock, and
+while it does, the frames it read are held in shared mode and the frames
+it wrote in exclusive mode.  A later-dispatched op whose interval would
+overlap a conflicting hold must wait until the hold's release — the
+classic latch-crabbing cost, charged as simulated time the same way the
+device charges positioning.
+
+Conflict rules are the standard ones:
+
+* shared (read) vs shared — compatible, no wait;
+* anything vs another session's exclusive hold — wait until release;
+* exclusive (write) vs another session's shared hold — wait until the
+  last reader releases.
+
+A session never conflicts with its own holds (latches are per-op here,
+and one session runs one op at a time).
+
+Because the scheduler dispatches in nondecreasing virtual start order
+(it always picks the minimum virtual clock), any hold released at or
+before the current start time can never conflict again, so the table is
+pruned against that watermark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+__all__ = ["LatchManager"]
+
+#: (file name, block number) — the latch grain is the buffer-pool frame.
+FrameKey = Tuple[str, int]
+
+#: Table size that triggers a full prune against the watermark.
+_PRUNE_THRESHOLD = 4096
+
+
+class LatchManager:
+    """Latch table mapping frames to their current virtual-time holds."""
+
+    def __init__(self) -> None:
+        #: frame -> (holder session id, release virtual time)
+        self._exclusive: Dict[FrameKey, Tuple[int, float]] = {}
+        #: frame -> {holder session id: release virtual time}
+        self._shared: Dict[FrameKey, Dict[int, float]] = {}
+        self.waits = 0
+        self.wait_us = 0.0
+
+    def __len__(self) -> int:
+        return len(self._exclusive) + len(self._shared)
+
+    def wait_until(self, session_id: int, start_us: float,
+                   reads: Iterable[FrameKey],
+                   writes: Iterable[FrameKey]) -> float:
+        """Earliest virtual time the op may begin given current holds.
+
+        Returns ``start_us`` itself when nothing conflicts; otherwise the
+        latest conflicting release time.  Does not record the wait —
+        callers charge it and then :meth:`hold` the op's own latches.
+        """
+        begin = start_us
+        for key in reads:
+            held = self._exclusive.get(key)
+            if held is not None and held[0] != session_id and held[1] > begin:
+                begin = held[1]
+        for key in writes:
+            held = self._exclusive.get(key)
+            if held is not None and held[0] != session_id and held[1] > begin:
+                begin = held[1]
+            for holder, release in self._shared.get(key, {}).items():
+                if holder != session_id and release > begin:
+                    begin = release
+        return begin
+
+    def hold(self, session_id: int, release_us: float,
+             reads: Iterable[FrameKey], writes: Iterable[FrameKey]) -> None:
+        """Record the op's holds: shared on reads, exclusive on writes.
+
+        A frame both read and written is held exclusively (the write
+        subsumes the read).  A newer hold on a frame supersedes this
+        manager's older record for it — the older hold necessarily
+        released before the new op began, or :meth:`wait_until` would
+        have pushed the new op past it.
+        """
+        writes = set(writes)
+        for key in writes:
+            self._exclusive[key] = (session_id, release_us)
+            self._shared.pop(key, None)
+        for key in reads:
+            if key in writes:
+                continue
+            held = self._exclusive.get(key)
+            if held is not None and held[1] <= release_us:
+                # The exclusive hold ended before this shared one will;
+                # the shared record is now the binding one.
+                del self._exclusive[key]
+            self._shared.setdefault(key, {})[session_id] = release_us
+
+    def record_wait(self, wait_us: float) -> None:
+        """Count one stall (the engine charges the device separately)."""
+        self.waits += 1
+        self.wait_us += wait_us
+
+    def prune(self, watermark_us: float, force: bool = False) -> None:
+        """Drop holds released at or before ``watermark_us``.
+
+        The scheduler's dispatch start times never decrease, so expired
+        holds can never conflict again.  Cheap no-op until the table
+        grows past a threshold (or ``force``).
+        """
+        if not force and len(self) < _PRUNE_THRESHOLD:
+            return
+        self._exclusive = {
+            key: held for key, held in self._exclusive.items()
+            if held[1] > watermark_us
+        }
+        shared: Dict[FrameKey, Dict[int, float]] = {}
+        for key, holders in self._shared.items():
+            live = {holder: release for holder, release in holders.items()
+                    if release > watermark_us}
+            if live:
+                shared[key] = live
+        self._shared = shared

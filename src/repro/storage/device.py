@@ -38,8 +38,11 @@ __all__ = ["BlockDevice", "BlockFile", "StorageStats", "PHASES"]
 #: :meth:`repro.storage.Pager.flush`); ``scrub`` is the checksum-verify
 #: walk of :meth:`repro.storage.Pager.scrub` and ``repair`` the
 #: block-rebuild writes of :mod:`repro.durability.repair`.
+#: ``latch`` is simulated latch-wait time charged by the concurrent
+#: serving engine (:mod:`repro.serving`) when sessions conflict on a
+#: frame — pure latency, no block transferred, like retry backoff.
 PHASES = ("default", "search", "insert", "smo", "maintenance", "scan",
-          "bulkload", "log", "flush", "scrub", "repair")
+          "bulkload", "log", "flush", "scrub", "repair", "latch")
 
 
 @dataclass
@@ -64,6 +67,12 @@ class StorageStats:
     read errors absorbed by the pager's retry/backoff loop; and
     ``repaired_blocks`` counts blocks rewritten from checkpoint + WAL by
     the repair path.
+
+    ``latch_waits``/``latch_wait_us`` count conflicting frame accesses
+    that the concurrent serving engine stalled on another session's
+    latch, and the simulated time those stalls charged (under the
+    ``"latch"`` phase) — the contention analogue of the positioning
+    counters.
     """
 
     reads: int = 0
@@ -78,6 +87,8 @@ class StorageStats:
     checksum_failures: int = 0
     io_retries: int = 0
     repaired_blocks: int = 0
+    latch_waits: int = 0
+    latch_wait_us: float = 0.0
     reads_by_phase: Dict[str, int] = field(default_factory=dict)
     writes_by_phase: Dict[str, int] = field(default_factory=dict)
     time_by_phase: Dict[str, float] = field(default_factory=dict)
@@ -102,6 +113,8 @@ class StorageStats:
             checksum_failures=self.checksum_failures,
             io_retries=self.io_retries,
             repaired_blocks=self.repaired_blocks,
+            latch_waits=self.latch_waits,
+            latch_wait_us=self.latch_wait_us,
             reads_by_phase=dict(self.reads_by_phase),
             writes_by_phase=dict(self.writes_by_phase),
             time_by_phase=dict(self.time_by_phase),
@@ -131,6 +144,8 @@ class StorageStats:
             checksum_failures=self.checksum_failures - earlier.checksum_failures,
             io_retries=self.io_retries - earlier.io_retries,
             repaired_blocks=self.repaired_blocks - earlier.repaired_blocks,
+            latch_waits=self.latch_waits - earlier.latch_waits,
+            latch_wait_us=self.latch_wait_us - earlier.latch_wait_us,
             reads_by_phase={
                 p: self.reads_by_phase.get(p, 0) - earlier.reads_by_phase.get(p, 0)
                 for p in phases
@@ -310,6 +325,23 @@ class BlockDevice:
         self.stats.elapsed_us += cost_us
         phase = self._phase
         self.stats.time_by_phase[phase] = self.stats.time_by_phase.get(phase, 0.0) + cost_us
+
+    def charge_latch_wait(self, cost_us: float) -> None:
+        """Charge one simulated latch stall (serving-engine contention).
+
+        The wait is pure latency under the ``"latch"`` phase — no block
+        moves — exactly like retry backoff, and it counts into the
+        ``latch_waits``/``latch_wait_us`` stats the way a random access
+        counts into the positioning counters.
+        """
+        self.stats.latch_waits += 1
+        self.stats.latch_wait_us += cost_us
+        previous = self._phase
+        self._phase = "latch"
+        try:
+            self.charge_latency(cost_us)
+        finally:
+            self._phase = previous
 
     def _maybe_fault_read(self, file: BlockFile, block_no: int) -> None:
         """Give the fault model its shot at a charged read (cost already paid)."""

@@ -107,6 +107,14 @@ class Pager:
         #: consulted on last-block reuse hits (the one cache level the
         #: device and buffer pool cannot see) and on flush events.
         self.tracer = None
+        #: optional hook ``(kind, file_name, block_no)`` with kind
+        #: "r"/"w", fired for *every* block that crosses the pager —
+        #: cache hits included, unlike the device's ``on_access`` —
+        #: because a latch protects the frame regardless of where its
+        #: bytes are served from.  Set by the serving engine
+        #: (:mod:`repro.serving`) to collect each operation's frame
+        #: footprint; None keeps the hot path to one attribute check.
+        self.on_block_access = None
         #: optional :class:`repro.durability.WriteAheadLog` whose durable
         #: high-water mark gates dirty-page flushes (log before data).
         self._wal = None
@@ -182,6 +190,8 @@ class Pager:
 
     def read_block(self, file: BlockFile, block_no: int) -> bytes:
         """Read one block through the cache hierarchy."""
+        if self.on_block_access is not None:
+            self.on_block_access("r", file.name, block_no)
         if file.memory_resident:
             return self.device.read_block(file, block_no)
         if self._batch_depth:
@@ -220,6 +230,8 @@ class Pager:
         Write-back: the payload is cached as a dirty frame and reaches
         the device later, in a coalesced flush run.
         """
+        if self.on_block_access is not None:
+            self.on_block_access("w", file.name, block_no)
         if self.write_back and not file.memory_resident:
             self._buffer_write(file, block_no, data)
             return
@@ -278,6 +290,9 @@ class Pager:
         pairs = sorted(writes)
         if not pairs:
             return
+        if self.on_block_access is not None:
+            for block_no, _data in pairs:
+                self.on_block_access("w", file.name, block_no)
         if self.write_back and not through and not file.memory_resident:
             for block_no, data in pairs:
                 self._buffer_write(file, block_no, data)
@@ -447,6 +462,9 @@ class Pager:
         wanted = sorted(set(block_nos))
         if not wanted:
             return {}
+        if self.on_block_access is not None:
+            for block_no in wanted:
+                self.on_block_access("r", file.name, block_no)
         if file.memory_resident:
             return {no: self.device.read_block(file, no) for no in wanted}
         out: Dict[int, bytes] = {}

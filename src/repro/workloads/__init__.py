@@ -1,9 +1,11 @@
 """Workload generation and execution (Section 5.2 of the paper)."""
 
 from .runner import RunResult, bulk_load_timed, run_workload
-from .spec import WORKLOADS, Operation, WorkloadSpec, build_workload, workload_names
+from .spec import (DISTRIBUTIONS, WORKLOADS, Operation, WorkloadSpec,
+                   build_workload, workload_names)
 
 __all__ = [
+    "DISTRIBUTIONS",
     "Operation",
     "RunResult",
     "WORKLOADS",

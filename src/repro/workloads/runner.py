@@ -91,6 +91,33 @@ class RunResult:
     phase_latency_histograms: Optional[Dict[str, dict]] = None
     #: per op type, the blocks-touched-per-op digest — only when traced.
     op_io_histograms: Optional[Dict[str, dict]] = None
+    # -- concurrent serving (defaults describe the single-client path) --
+    clients: int = 1
+    #: per client id: op counts, latency digests (overall and per op
+    #: type), latch/commit-wait counters, snapshot counters, and the
+    #: max dispatch gap — only filled by the serving path.
+    per_client: Dict[int, dict] = field(default_factory=dict)
+    #: per client id, per phase, the per-op µs digest — only when the
+    #: serving path ran with a tracer attached.
+    client_phase_histograms: Optional[Dict[int, Dict[str, dict]]] = None
+    commit_groups: int = 0       # group-commit flushes that acknowledged writers
+    mean_commit_group: float = 0.0  # writers acknowledged per group
+    committed_writes: int = 0    # writes acknowledged durable
+    commit_waits: int = 0        # writers that blocked awaiting a group flush
+    commit_wait_us: float = 0.0  # total virtual time spent blocked on commits
+    latch_waits: int = 0         # ops stalled on a conflicting frame latch
+    latch_wait_us: float = 0.0   # total simulated latch-stall time
+    read_latch_wait_us: float = 0.0   # latch stalls charged to reads/scans
+    write_latch_wait_us: float = 0.0  # latch stalls charged to inserts
+    snapshot_reads: int = 0      # reads served at snapshot isolation
+    snapshot_suppressed: int = 0  # snapshot reads hiding a not-yet-durable key
+
+    @property
+    def flushes_per_committed_write(self) -> float:
+        """Log flushes amortized per acknowledged write (serving path)."""
+        if self.committed_writes == 0:
+            return 0.0
+        return self.log_flushes / self.committed_writes
 
     def phase_latency_us(self, phase: str) -> float:
         """Average simulated time per op spent in a phase (Figure 6)."""
@@ -148,7 +175,13 @@ def run_workload(index: DiskIndex, ops: Sequence[Operation], workload: str = "",
                  scan_length: int = 100, keep_latencies: bool = False,
                  validate: bool = False,
                  fault_injector: Optional[FaultInjector] = None,
-                 tracer=None, batch: int = 1, healer=None) -> RunResult:
+                 tracer=None, batch: int = 1, healer=None,
+                 clients: int = 1,
+                 client_ops: Optional[Sequence[Sequence[Operation]]] = None,
+                 snapshot_reads: bool = True,
+                 commit_group: Optional[int] = None,
+                 commit_timeout_us: Optional[float] = 10_000.0,
+                 latching: bool = True) -> RunResult:
     """Execute ``ops`` against a loaded index and collect metrics.
 
     Args:
@@ -186,6 +219,28 @@ def run_workload(index: DiskIndex, ops: Sequence[Operation], workload: str = "",
             I/O is charged to the device, so the healed operation's
             latency includes it.  Unhealable faults propagate.  Requires
             ``batch=1`` (fault attribution is per-op).
+        clients: interleave the op stream over this many concurrent
+            client sessions through the :mod:`repro.serving` engine
+            (``ops`` is dealt round-robin via
+            :func:`~repro.serving.split_ops`).  The default 1 with no
+            ``client_ops`` runs the original single-stream path — every
+            metric of that path is computed exactly as before.
+        client_ops: explicit per-client op streams (overrides the
+            round-robin split; implies the serving path even for one
+            stream).  ``ops`` is ignored when given.
+        snapshot_reads / commit_group / commit_timeout_us / latching:
+            serving-engine knobs, forwarded to
+            :class:`~repro.serving.ServingEngine`.  Ignored on the
+            single-client path.
+
+    On the serving path, latencies are *client-perceived*: an op's latch
+    stalls and a write's group-commit wait are part of its latency, the
+    result gains the serving counters (latch/commit waits, snapshot
+    reads, commit-group sizes) and per-client digests in
+    ``per_client``, and ``validate`` weakens for lookups to "the
+    paper's payload or not-yet-visible" — under snapshot isolation a
+    racing read may legitimately miss a key another client just wrote
+    (the commit-order oracle test asserts exact equivalence instead).
 
     Mutating operations go through the ``durable_*`` log-then-apply path
     whenever the index has a WAL attached; on a clean finish the WAL's
@@ -199,6 +254,18 @@ def run_workload(index: DiskIndex, ops: Sequence[Operation], workload: str = "",
         raise ValueError("fault injection is per-op; run it with batch=1")
     if batch > 1 and healer is not None:
         raise ValueError("self-healing is per-op; run it with batch=1")
+    if clients != 1 or client_ops is not None:
+        if batch > 1:
+            raise ValueError("the serving engine schedules per-op; use batch=1")
+        if healer is not None:
+            raise ValueError("self-healing is not supported on the serving path")
+        return _run_serving(
+            index, ops, workload=workload, scan_length=scan_length,
+            keep_latencies=keep_latencies, validate=validate,
+            fault_injector=fault_injector, tracer=tracer, clients=clients,
+            client_ops=client_ops, snapshot_reads=snapshot_reads,
+            commit_group=commit_group, commit_timeout_us=commit_timeout_us,
+            latching=latching)
     pager: Pager = index.pager
     device = pager.device
     wal = index.wal
@@ -403,4 +470,172 @@ def run_workload(index: DiskIndex, ops: Sequence[Operation], workload: str = "",
         op_io_histograms=(
             {k: h.summary() for k, h in io_hists.items()}
             if tracer is not None else None),
+    )
+
+
+def _client_digest(session, phase_hists=None) -> dict:
+    """One client's slice of a serving run, as histogram digests."""
+    overall = Histogram(latency_bounds())
+    by_kind: Dict[str, Histogram] = {}
+    for kind, us in zip(session.op_kinds, session.latencies_us):
+        overall.record(us)
+        hist = by_kind.get(kind)
+        if hist is None:
+            hist = by_kind[kind] = Histogram(latency_bounds())
+        hist.record(us)
+    digest = {
+        "ops": session.completed,
+        "latency": overall.summary(),
+        "op_latency_histograms": {k: h.summary() for k, h in by_kind.items()},
+        "latch_waits": session.latch_waits,
+        "latch_wait_us": session.latch_wait_us,
+        "commit_waits": session.commit_waits,
+        "commit_wait_us": session.commit_wait_us,
+        "snapshot_reads": session.snapshot_reads,
+        "snapshot_suppressed": session.snapshot_suppressed,
+        "committed_writes": session.committed_writes,
+        "max_dispatch_gap": session.max_dispatch_gap(),
+    }
+    if phase_hists is not None:
+        digest["phase_latency_histograms"] = {
+            p: h.summary() for p, h in phase_hists.items()}
+    return digest
+
+
+def _run_serving(index: DiskIndex, ops: Sequence[Operation], *, workload: str,
+                 scan_length: int, keep_latencies: bool, validate: bool,
+                 fault_injector: Optional[FaultInjector], tracer,
+                 clients: int, client_ops, snapshot_reads: bool,
+                 commit_group: Optional[int],
+                 commit_timeout_us: Optional[float],
+                 latching: bool) -> RunResult:
+    """The multi-client branch of :func:`run_workload`.
+
+    Deals ``ops`` into per-client streams (unless explicit ones are
+    given), drives :class:`repro.serving.ServingEngine`, and folds its
+    report into the common :class:`RunResult` shape plus the serving
+    extras.  Latencies here are client-perceived — device time plus
+    latch stalls plus group-commit waits — so tails widen with
+    contention even though the device does the same work.
+    """
+    # Imported lazily: repro.serving imports this package for the
+    # Operation alias, so a module-level import would be circular.
+    from ..serving import ServingEngine, split_ops
+
+    pager: Pager = index.pager
+    device = pager.device
+    wal = index.wal
+    if tracer is None:
+        tracer = getattr(index, "tracer", None)
+    if client_ops is not None:
+        streams = [list(stream) for stream in client_ops]
+    else:
+        streams = split_ops(ops, clients)
+
+    start = device.stats.snapshot()
+    file_reads_before = {name: f.reads for name, f in device.files.items()}
+    log_records_before = wal.records_appended if wal is not None else 0
+    log_flushes_before = wal.flushes if wal is not None else 0
+    flushes_before = pager.flushes
+    dirty_evictions_before = (pager.buffer_pool.dirty_evictions
+                              if pager.buffer_pool is not None else 0)
+
+    engine = ServingEngine(
+        index, streams, scan_length=scan_length, validate=validate,
+        snapshot_reads=snapshot_reads, latching=latching,
+        commit_group=commit_group, commit_timeout_us=commit_timeout_us,
+        tracer=tracer, fault_injector=fault_injector)
+    report = engine.run()
+
+    delta = device.stats.diff(start)
+    roles = index.file_roles()
+    inner_reads = 0
+    leaf_reads = 0
+    for name, handle in device.files.items():
+        file_delta = handle.reads - file_reads_before.get(name, 0)
+        if roles.get(name) == "inner":
+            inner_reads += file_delta
+        else:
+            leaf_reads += file_delta
+
+    latencies = report.latencies_us
+    executed = report.executed
+    op_hists: Dict[str, Histogram] = {}
+    for kind, us in zip(report.op_kinds, latencies):
+        hist = op_hists.get(kind)
+        if hist is None:
+            hist = op_hists[kind] = Histogram(latency_bounds())
+        hist.record(float(us))
+
+    traced = tracer is not None
+    client_hists = report.client_phase_hists if traced else {}
+    per_client = {
+        s.client_id: _client_digest(
+            s, (client_hists or {}).get(s.client_id) if traced else None)
+        for s in report.sessions
+    }
+
+    n = max(executed, 1)
+    sim_s = delta.elapsed_us / 1e6
+    return RunResult(
+        workload=workload,
+        index_name=index.name,
+        num_ops=executed,
+        sim_elapsed_us=delta.elapsed_us,
+        throughput_ops_per_s=executed / sim_s if sim_s > 0 else float("inf"),
+        mean_latency_us=float(latencies.mean()) if executed else 0.0,
+        p50_latency_us=float(np.percentile(latencies, 50)) if executed else 0.0,
+        p99_latency_us=float(np.percentile(latencies, 99)) if executed else 0.0,
+        std_latency_us=float(latencies.std()) if executed else 0.0,
+        blocks_read_per_op=delta.reads / n,
+        blocks_written_per_op=delta.writes / n,
+        inner_blocks_per_op=inner_reads / n,
+        leaf_blocks_per_op=leaf_reads / n,
+        time_by_phase_us=dict(delta.time_by_phase),
+        reads_by_phase=dict(delta.reads_by_phase),
+        writes_by_phase=dict(delta.writes_by_phase),
+        allocated_bytes=device.allocated_bytes,
+        live_bytes=device.live_bytes,
+        latencies_us=latencies if keep_latencies else None,
+        log_records=(wal.records_appended - log_records_before) if wal is not None else 0,
+        log_flushes=(wal.flushes - log_flushes_before) if wal is not None else 0,
+        log_blocks_written=delta.writes_by_phase.get("log", 0),
+        crashed_at_op=report.crashed_at_op,
+        read_positionings=delta.read_positionings,
+        write_positionings=delta.write_positionings,
+        coalesced_runs=delta.coalesced_runs,
+        coalesced_blocks=delta.coalesced_blocks,
+        flushes=pager.flushes - flushes_before,
+        dirty_evictions=(
+            pager.buffer_pool.dirty_evictions - dirty_evictions_before
+            if pager.buffer_pool is not None else 0),
+        io_retries=delta.io_retries,
+        checksum_failures=delta.checksum_failures,
+        repaired_blocks=delta.repaired_blocks,
+        p90_latency_us=float(np.percentile(latencies, 90)) if executed else 0.0,
+        max_latency_us=float(latencies.max()) if executed else 0.0,
+        op_latency_histograms={k: h.summary() for k, h in op_hists.items()},
+        phase_latency_histograms=(
+            {p: h.summary() for p, h in report.phase_hists.items()}
+            if traced else None),
+        op_io_histograms=(
+            {k: h.summary() for k, h in report.io_hists.items()}
+            if traced else None),
+        clients=len(streams),
+        per_client=per_client,
+        client_phase_histograms=(
+            {cid: {p: h.summary() for p, h in hists.items()}
+             for cid, hists in (client_hists or {}).items()}
+            if traced else None),
+        commit_groups=len(report.commit_groups),
+        mean_commit_group=report.mean_commit_group,
+        committed_writes=report.committed_writes,
+        commit_waits=report.commit_waits,
+        commit_wait_us=report.commit_wait_us,
+        latch_waits=report.latch_waits,
+        latch_wait_us=report.latch_wait_us,
+        read_latch_wait_us=report.read_latch_wait_us,
+        write_latch_wait_us=report.write_latch_wait_us,
+        snapshot_reads=report.snapshot_reads,
+        snapshot_suppressed=report.snapshot_suppressed,
     )

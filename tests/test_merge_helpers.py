@@ -4,10 +4,19 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.fiting import _merge_sorted
+from repro.core.interface import TOMBSTONE
 from repro.core.pgm import _merge_runs
 
 sorted_run = st.lists(
     st.tuples(st.integers(0, 200), st.integers(0, 10**6)), max_size=40
+).map(lambda items: sorted({k: v for k, v in items}.items()))
+
+# Like sorted_run but some payloads are tombstones, to exercise the
+# FITing merge's live-data-wins / tombstone-yields tie rule.
+sorted_run_with_tombstones = st.lists(
+    st.tuples(st.integers(0, 200),
+              st.one_of(st.just(TOMBSTONE), st.integers(0, 10**6))),
+    max_size=40,
 ).map(lambda items: sorted({k: v for k, v in items}.items()))
 
 
@@ -24,11 +33,16 @@ def test_merge_runs_newest_wins(runs):
 
 
 @settings(max_examples=200, deadline=None)
-@given(sorted_run, sorted_run)
-def test_fiting_merge_buffer_shadows_data(data_run, buffer_run):
+@given(sorted_run_with_tombstones, sorted_run_with_tombstones)
+def test_fiting_merge_live_data_wins_ties(data_run, buffer_run):
+    """On equal keys the merge keeps the live data-region entry — the
+    copy lookups serve — and only a tombstoned data entry yields to the
+    delta buffer (a buffered re-insert after a delete)."""
     merged = _merge_sorted(list(data_run), list(buffer_run))
     keys = [k for k, _ in merged]
     assert keys == sorted(set(keys))
-    expected = dict(data_run)
-    expected.update(dict(buffer_run))  # the delta buffer wins ties
+    expected = dict(buffer_run)
+    expected.update({k: v for k, v in data_run if v != TOMBSTONE})
+    for k, v in data_run:
+        expected.setdefault(k, v)
     assert dict(merged) == expected

@@ -274,7 +274,7 @@ def _synthetic_records():
                 "pool_hits": hits, "pool_misses": misses,
                 "reuse_hits": 0, "wal_records": 0, "wal_flushes": 0}
     return [
-        {"type": "summary", "schema": 3, "events": 4, "dropped_ops": 0,
+        {"type": "summary", "schema": 4, "events": 4, "dropped_ops": 0,
          "reads": {"search": 4}, "writes": {"smo": 12},
          "us_by_phase": {"search": 6800.0}},
         {"type": "background", "us": 0.0, "reads": {}, "writes": {},
