@@ -6,17 +6,50 @@ group commit fills each log flush from every session's pending writes,
 and snapshot reads resolve against the durable prefix without ever
 touching the latch table.  Rows are archived both as the usual text
 table and as ``BENCH_concurrency.json`` for the CI perf-smoke job.
+
+``--shards N`` (a suite-wide pytest option) serves every cell from a
+range-partitioned tier instead of the flat index; at the default 1 the
+flat path runs unchanged and this file additionally proves that routing
+through a 1-shard tier charges *zero* extra positionings — the sharded
+tier's fan-out facades are free when there is nothing to fan out over.
 """
 
 import json
 
-from conftest import RESULTS_DIR, run_and_emit
+from conftest import RESULTS_DIR, bench_scale, run_and_emit
 
 CLIENT_COUNTS = (1, 4, 16, 64, 256)
 
 
-def test_concurrency(benchmark):
-    result = run_and_emit(benchmark, "concurrency")
+def _assert_one_shard_routing_is_free():
+    """A 1-shard tier must charge exactly the flat index's I/O.
+
+    Same dataset, same op stream, same WAL batching: the router's
+    dispatch and the fan-out device/pager/WAL facades are pure
+    accounting, so read/write positionings, block counts and simulated
+    time must be *identical*, not merely close.
+    """
+    from repro.bench import fresh_index, fresh_sharded_index
+    from repro.workloads import run_workload
+
+    scale = bench_scale()
+    flat = fresh_index("btree", "ycsb", "balanced", scale, with_wal=True)
+    tier = fresh_sharded_index("btree", 1, "ycsb", "balanced", scale,
+                               durability=True)
+    assert flat.ops == tier.ops
+    res_flat = run_workload(flat.index, flat.ops, workload="parity")
+    res_tier = run_workload(tier.index, tier.ops, workload="parity",
+                            shards=1)
+    for field in ("read_positionings", "write_positionings",
+                  "blocks_read_per_op", "blocks_written_per_op",
+                  "log_records", "log_flushes", "sim_elapsed_us"):
+        assert getattr(res_flat, field) == getattr(res_tier, field), (
+            field, getattr(res_flat, field), getattr(res_tier, field))
+
+
+def test_concurrency(benchmark, request):
+    shards = request.config.getoption("--shards")
+    result = run_and_emit(benchmark, "concurrency", shards=shards)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "BENCH_concurrency.json").write_text(
         json.dumps({"experiment": result.experiment_id, "rows": result.rows},
@@ -24,7 +57,11 @@ def test_concurrency(benchmark):
 
     by_cell = {(r["device"], r["index"], r["clients"]): r for r in result.rows}
     for device in ("hdd", "ssd"):
-        for index in ("btree", "alex"):
+        # The group-commit ratio assertions describe one shared WAL; a
+        # sharded run splits the log across shards, so they apply to the
+        # default flat topology only (the snapshot-read invariants below
+        # hold at every shard count).
+        for index in ("btree", "alex") if shards == 1 else ():
             # Cross-client group commit: a single client commits
             # synchronously (one flush per write); as clients grow each
             # flush drains every session's pending writes, so flushes
@@ -56,3 +93,6 @@ def test_concurrency(benchmark):
                 # every cell, and every cell actually served reads.
                 assert row["read_latch_us"] == 0.0, row
                 assert row["snapshot_reads"] > 0, row
+
+    if shards == 1:
+        _assert_one_shard_routing_is_free()

@@ -1,0 +1,57 @@
+"""Sharded-tier sweep: scale-out, replica fan-out, workload-aware tuning.
+
+Beyond the paper: a range-partitioned tier of independent shards (each
+its own device, pager, pool and WAL — DESIGN.md Section 14) sweeping
+1 -> 16 shards x {HDD, SSD} x {uniform, zipfian} lookups, a replica
+read-fan-out comparison, and the P1-P5 workload-aware tuner picking a
+*divergent* per-shard index composition that beats every uniform
+writable choice on total charged I/O.  Rows are archived as the usual
+text table and as ``BENCH_sharding.json`` for the CI perf-smoke job.
+"""
+
+import json
+
+from conftest import RESULTS_DIR, run_and_emit
+
+
+def test_sharding(benchmark):
+    result = run_and_emit(benchmark, "sharding")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_sharding.json").write_text(
+        json.dumps({"experiment": result.experiment_id, "rows": result.rows},
+                   indent=2))
+
+    scaleout = {(r["device"], r["distribution"], r["shards"]): r
+                for r in result.rows if r["section"] == "scaleout"}
+    for device in ("hdd", "ssd"):
+        # Uniform lookups: the aggregate per-shard pool grows with the
+        # shard count, so charged read positionings per op must fall by
+        # >= 2x at 4 shards (a zero at 4 shards means the tier became
+        # fully cache-resident — an infinite reduction).
+        base = scaleout[(device, "uniform", 1)]["read_pos_per_op"]
+        at4 = scaleout[(device, "uniform", 4)]["read_pos_per_op"]
+        assert base > 0, scaleout[(device, "uniform", 1)]
+        assert at4 <= base / 2, (device, base, at4)
+        # More shards never charge more positioning than fewer.
+        for distribution in ("uniform", "zipfian"):
+            series = [scaleout[(device, distribution, s)]["read_pos_per_op"]
+                      for s in (1, 2, 4, 8, 16)]
+            assert all(a >= b for a, b in zip(series, series[1:])), series
+
+    # Replica read fan-out: spreading reads round-robin over identical
+    # copies must not hurt the tail — p99 no worse than single-replica.
+    replicas = {r["replicas"]: r for r in result.rows
+                if r["section"] == "replicas"}
+    assert replicas[3]["p99_us"] <= replicas[1]["p99_us"], replicas
+    assert replicas[3]["reads_served"] == replicas[1]["reads_served"]
+
+    # Workload-aware divergence: the tuner assigned at least two
+    # distinct classes across the skewed shards, and the divergent tier
+    # charges strictly less total positioning I/O than every uniform
+    # writable composition.
+    tuner = {r["config"]: r for r in result.rows if r["section"] == "tuner"}
+    divergent = tuner["divergent"]
+    assert len(set(divergent["composition"].split(","))) >= 2, divergent
+    for uniform in ("uniform-btree", "uniform-alex"):
+        assert divergent["total_positionings"] < \
+            tuner[uniform]["total_positionings"], (divergent, tuner[uniform])

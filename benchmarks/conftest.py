@@ -20,6 +20,14 @@ from repro.bench import ExperimentResult, Scale, default_scale, format_result
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--shards", action="store", type=int, default=1,
+        help="serve sharding-aware benchmarks (bench_concurrency) from a "
+             "range-partitioned tier with this many shards; 1 (default) "
+             "keeps the flat single-index path")
+
+
 def bench_scale() -> Scale:
     factor = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
     return default_scale().scaled(factor)
@@ -34,12 +42,18 @@ def emit(result: ExperimentResult) -> None:
     (RESULTS_DIR / f"{result.experiment_id}.txt").write_text(text)
 
 
-def run_and_emit(benchmark, experiment_id: str) -> ExperimentResult:
-    """Time one full experiment regeneration and archive its rows."""
+def run_and_emit(benchmark, experiment_id: str,
+                 **experiment_kwargs) -> ExperimentResult:
+    """Time one full experiment regeneration and archive its rows.
+
+    Extra keyword arguments pass through to the experiment function
+    (e.g. ``shards`` for the ``concurrency`` experiment).
+    """
     from repro.bench import run_experiment
 
     scale = bench_scale()
     result = benchmark.pedantic(
-        run_experiment, args=(experiment_id, scale), rounds=1, iterations=1)
+        run_experiment, args=(experiment_id, scale),
+        kwargs=experiment_kwargs, rounds=1, iterations=1)
     emit(result)
     return result

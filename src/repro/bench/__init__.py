@@ -1,6 +1,7 @@
 """Benchmark harness: one experiment per paper table/figure."""
 
-from .config import PROFILES, IndexSetup, Scale, default_scale, fresh_index
+from .config import (PROFILES, IndexSetup, Scale, default_scale,
+                     fresh_index, fresh_sharded_index)
 from . import ablations  # noqa: F401  (registers the ablation experiments)
 from .experiments import (
     EXPERIMENTS,
@@ -22,5 +23,6 @@ __all__ = [
     "format_result",
     "format_table",
     "fresh_index",
+    "fresh_sharded_index",
     "run_experiment",
 ]

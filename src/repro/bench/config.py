@@ -21,8 +21,9 @@ from ..storage import (HDD, SSD, BlockDevice, DiskProfile, Pager,
                        make_buffer_pool)
 from ..workloads import WORKLOADS, build_workload, bulk_load_timed
 
-__all__ = ["Scale", "default_scale", "IndexSetup", "fresh_index", "PROFILES",
-           "tracing", "set_active_tracer", "set_write_back"]
+__all__ = ["Scale", "default_scale", "IndexSetup", "fresh_index",
+           "fresh_sharded_index", "PROFILES", "tracing", "set_active_tracer",
+           "set_write_back"]
 
 PROFILES = {"hdd": HDD, "ssd": SSD}
 
@@ -199,3 +200,57 @@ def fresh_index(index_name: str, dataset: str, workload: str, scale: Scale,
     return IndexSetup(index=index, device=device, pager=pager,
                       bulk_items=bulk_items, ops=ops, bulkload_us=bulkload_us,
                       wal=wal)
+
+
+def fresh_sharded_index(index_names, shards: Optional[int], dataset: str,
+                        workload: str, scale: Scale,
+                        profile: DiskProfile = HDD,
+                        block_size: Optional[int] = None,
+                        buffer_blocks: int = 0, replicas: int = 1,
+                        replica_policy: str = "round_robin",
+                        durability: bool = False,
+                        wal_group_commit: Optional[int] = None,
+                        lookup_distribution: str = "uniform",
+                        zipf_s: float = 0.99) -> IndexSetup:
+    """Build a range-partitioned :class:`repro.sharding.ShardedIndex` cell.
+
+    Mirrors :func:`fresh_index`: same dataset, same workload stream, same
+    scale — but the index is a sharded tier whose boundaries come from
+    the bulk keys' quantiles, so every shard loads an equal slice.
+    ``index_names`` is one registry name (uniform tier, needs ``shards``)
+    or a per-shard list (divergent tier).  ``buffer_blocks`` is *per
+    member*: the tier's aggregate cache grows with the shard count,
+    which is the scale-out effect the ``sharding`` experiment measures.
+    The returned setup's ``device`` / ``pager`` / ``wal`` are the tier's
+    fan-out facades, so every downstream consumer reads combined stats.
+    """
+    from ..core import make_sharded_index
+
+    spec = WORKLOADS[workload]
+    if spec.bulk_all:
+        n_keys = scale.n_read
+        num_ops = scale.n_scan_ops if "S" in spec.round_pattern else scale.n_lookup_ops
+    else:
+        num_ops = scale.n_write_ops
+        num_inserts = sum(
+            1 for i in range(num_ops)
+            if spec.round_pattern[i % len(spec.round_pattern)] == "I")
+        n_keys = scale.n_write_bulk + num_inserts
+    keys = make_dataset(dataset, n_keys, seed=scale.seed)
+    bulk_items, ops = build_workload(
+        spec, keys, num_ops, seed=scale.seed,
+        lookup_distribution=lookup_distribution, zipf_s=zipf_s)
+
+    index = make_sharded_index(
+        index_names, shards,
+        sample_keys=[key for key, _ in bulk_items],
+        replicas=replicas, replica_policy=replica_policy,
+        durability=durability,
+        group_commit=(wal_group_commit if wal_group_commit is not None
+                      else scale.group_commit),
+        profile=profile, block_size=block_size or scale.block_size,
+        buffer_blocks=buffer_blocks)
+    bulkload_us = bulk_load_timed(index, bulk_items)
+    return IndexSetup(index=index, device=index.device, pager=index.pager,
+                      bulk_items=bulk_items, ops=ops, bulkload_us=bulkload_us,
+                      wal=index.wal)

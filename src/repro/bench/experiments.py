@@ -633,7 +633,8 @@ def exp_fault_sweep(scale: Optional[Scale] = None,
 def exp_concurrency(scale: Optional[Scale] = None,
                     client_counts: Sequence[int] = (1, 4, 16, 64, 256),
                     buffer_blocks: int = 256,
-                    zipf_s: float = 0.9) -> ExperimentResult:
+                    zipf_s: float = 0.9,
+                    shards: int = 1) -> ExperimentResult:
     """Balanced workload interleaved over 1→256 client sessions with
     zipfian (hot-key) lookups, on HDD and SSD, for the B+-tree, ALEX and
     the hybrid design (DESIGN.md Section 13).
@@ -645,6 +646,13 @@ def exp_concurrency(scale: Optional[Scale] = None,
     skew turns overlapping frame accesses into latch stalls
     (``latch_ms`` grows), and snapshot reads stay latch-free at every
     client count (``read_latch_us`` is identically zero).
+
+    ``shards`` > 1 serves every cell from a range-partitioned
+    :class:`repro.sharding.ShardedIndex` instead of one flat index
+    (same aggregate pool: ``buffer_blocks`` splits across the shards);
+    at the default 1 the flat path is untouched, and the benchmark
+    wrapper separately asserts that routing through a 1-shard tier adds
+    zero extra charged positionings.
     """
     scale = scale or default_scale()
     result = ExperimentResult(
@@ -658,11 +666,22 @@ def exp_concurrency(scale: Optional[Scale] = None,
             # (Table 5): its cells sweep the snapshot-read path only.
             workload = "lookup_only" if name.startswith("hybrid") else "balanced"
             for clients in client_counts:
-                setup = fresh_index(
-                    name, "ycsb", workload, scale,
-                    profile=PROFILES[profile_name],
-                    buffer_blocks=buffer_blocks, with_wal=True,
-                    lookup_distribution="zipfian", zipf_s=zipf_s)
+                if shards > 1:
+                    from .config import fresh_sharded_index
+
+                    setup = fresh_sharded_index(
+                        name, shards, "ycsb", workload, scale,
+                        profile=PROFILES[profile_name],
+                        buffer_blocks=max(1, buffer_blocks // shards),
+                        durability=True,
+                        wal_group_commit=scale.group_commit,
+                        lookup_distribution="zipfian", zipf_s=zipf_s)
+                else:
+                    setup = fresh_index(
+                        name, "ycsb", workload, scale,
+                        profile=PROFILES[profile_name],
+                        buffer_blocks=buffer_blocks, with_wal=True,
+                        lookup_distribution="zipfian", zipf_s=zipf_s)
                 # client_ops forces the serving path even at one client,
                 # so every cell reports the same commit/latch counters.
                 res = run_workload(setup.index, setup.ops,
@@ -675,6 +694,7 @@ def exp_concurrency(scale: Optional[Scale] = None,
                 result.rows.append({
                     "device": profile_name, "index": name,
                     "workload": workload, "clients": clients,
+                    "shards": shards,
                     # A fully-cached tiny-scale cell has zero simulated
                     # elapsed time; report 0 rather than infinity so the
                     # rows stay valid JSON.
@@ -703,6 +723,188 @@ def exp_concurrency(scale: Optional[Scale] = None,
 
 
 # ---------------------------------------------------------------------------
+# Extension — sharded, replicated storage tier (DESIGN.md Section 14)
+# ---------------------------------------------------------------------------
+
+def _tuner_ops(partition, loaded, withheld, num_ops: int, seed: int):
+    """A mixed stream whose per-shard op mixes diverge by construction:
+    shard 0 sees reads and scans only, shard 1 is lookup-heavy with a
+    trickle of inserts, shard 2 is insert-heavy.  Returns the stream in
+    a deterministic interleave."""
+    import random as _random
+
+    rng = _random.Random(seed)
+    by_shard_loaded = {s: [] for s in range(3)}
+    for key, _ in loaded:
+        by_shard_loaded[partition.shard_of(key)].append(key)
+    by_shard_fresh = {s: [] for s in range(3)}
+    for key in withheld:
+        by_shard_fresh[partition.shard_of(key)].append(key)
+    ops = []
+    per_shard = num_ops // 3
+    for _ in range(per_shard):
+        # Shard 0: pure read (lookup-dominant with some scans).
+        key = rng.choice(by_shard_loaded[0])
+        ops.append(("scan", key) if rng.random() < 0.1 else ("lookup", key))
+        # Shard 1: read-heavy with ~5% inserts.
+        if rng.random() < 0.05 and by_shard_fresh[1]:
+            ops.append(("insert", by_shard_fresh[1].pop()))
+        else:
+            ops.append(("lookup", rng.choice(by_shard_loaded[1])))
+        # Shard 2: write-heavy (~80% inserts).
+        if rng.random() < 0.8 and by_shard_fresh[2]:
+            ops.append(("insert", by_shard_fresh[2].pop()))
+        else:
+            ops.append(("lookup", rng.choice(by_shard_loaded[2])))
+    return ops
+
+
+def exp_sharding(scale: Optional[Scale] = None,
+                 shard_counts: Sequence[int] = (1, 2, 4, 8, 16),
+                 buffer_blocks: Optional[int] = None) -> ExperimentResult:
+    """Sharded-tier sweep (DESIGN.md Section 14), three sections of rows.
+
+    ``scaleout``: uniform B+-tree tier, 1 -> 16 shards x {HDD, SSD} x
+    {uniform, zipfian} lookups.  Every shard owns its own device and a
+    ``buffer_blocks``-frame pool, so the aggregate cache grows with the
+    shard count and charged read positionings per op fall — the
+    scale-out effect a partitioned disk-resident tier buys.
+
+    ``replicas``: 4-shard tier, 1 vs 3 copies under round-robin read
+    fan-out (no pools, so every copy charges identical per-op work):
+    read fan-out must not hurt tail latency.
+
+    ``tuner``: a 3-shard tier under a skewed mixed stream (one shard
+    read-only, one read-heavy, one write-heavy).  The workload-aware
+    tuner scores each shard's observed mix against the paper's P1-P5
+    rules and picks *divergent* classes; fresh tiers then run the same
+    stream under the tuned per-shard composition and under each uniform
+    writable choice — total charged positionings decide the winner.
+    """
+    scale = scale or default_scale()
+    if buffer_blocks is None:
+        # A quarter of the tier's leaf blocks (16B entries): one shard
+        # can never cache its slice, four shards together can — the
+        # shape this sweep measures, at every REPRO_BENCH_SCALE.
+        buffer_blocks = max(8, scale.n_read * 16 // scale.block_size // 4)
+    result = ExperimentResult(
+        "sharding",
+        "Sharded tier: scale-out, replica fan-out, workload-aware tuning")
+
+    # -- section 1: scale-out sweep -----------------------------------------
+    for profile_name in ("hdd", "ssd"):
+        for distribution in ("uniform", "zipfian"):
+            baseline = None
+            for shards in shard_counts:
+                from .config import fresh_sharded_index
+
+                setup = fresh_sharded_index(
+                    "btree", shards, "ycsb", "lookup_only", scale,
+                    profile=PROFILES[profile_name],
+                    buffer_blocks=buffer_blocks,
+                    lookup_distribution=distribution)
+                # Warm the pools first: the sweep compares steady-state
+                # hit rates, not the compulsory cold misses (which only
+                # depend on the op count, not the shard count).
+                run_workload(setup.index, setup.ops, workload="warmup")
+                res = run_workload(setup.index, setup.ops,
+                                   workload="lookup_only", validate=True,
+                                   shards=shards)
+                pos_per_op = res.read_positionings / res.num_ops
+                if shards == shard_counts[0]:
+                    baseline = pos_per_op
+                result.rows.append({
+                    "section": "scaleout", "device": profile_name,
+                    "distribution": distribution, "shards": shards,
+                    "read_pos_per_op": round(pos_per_op, 4),
+                    # None = the aggregate pool fully caches the tier
+                    # (zero charged positionings; infinity is not JSON).
+                    "reduction_x": round(baseline / pos_per_op, 2)
+                        if pos_per_op else None,
+                    "p50_us": round(res.p50_latency_us, 1),
+                    "p99_us": round(res.p99_latency_us, 1),
+                    "ops_per_s": round(res.throughput_ops_per_s, 1)
+                        if math.isfinite(res.throughput_ops_per_s) else 0.0,
+                })
+
+    # -- section 2: replica read fan-out ------------------------------------
+    from .config import fresh_sharded_index
+
+    for replicas in (1, 3):
+        setup = fresh_sharded_index(
+            "btree", 4, "ycsb", "lookup_only", scale, profile=PROFILES["hdd"],
+            replicas=replicas)
+        res = run_workload(setup.index, setup.ops, workload="lookup_only",
+                           validate=True, shards=4, replicas=replicas)
+        served = [shard["reads_served"] for shard in res.per_shard.values()]
+        result.rows.append({
+            "section": "replicas", "device": "hdd", "shards": 4,
+            "replicas": replicas,
+            "p50_us": round(res.p50_latency_us, 1),
+            "p99_us": round(res.p99_latency_us, 1),
+            "reads_served": sum(sum(counts) for counts in served),
+            "read_pos_per_op": round(
+                res.read_positionings / res.num_ops, 4),
+        })
+
+    # -- section 3: workload-aware divergent tuning --------------------------
+    from ..core import make_sharded_index
+    from ..sharding import ShardTuner
+
+    # The P1-P5 cost table is calibrated at ~60k keys *per shard* (a
+    # 3-level B+-tree; at 20k a shard's B+-tree flattens to 2 levels and
+    # ties the hybrid on lookups), so this section sizes the tier at
+    # 60k x 3 regardless of the sweep scale.
+    n = max(180_000, 6 * scale.n_write_bulk)
+    keys = make_dataset("ycsb", 2 * n, seed=scale.seed)
+    loaded = [(int(key), int(key) + 1) for key in keys[0::2]]
+    withheld = [int(key) for key in keys[1::2]]
+    sample = [key for key, _ in loaded]
+    num_ops = max(1_500, 3 * (scale.n_lookup_ops // 2))
+
+    # Profile the mix on a uniform scout tier, then let the tuner choose.
+    scout = make_sharded_index("btree", 3, sample_keys=sample,
+                               profile=PROFILES["hdd"])
+    scout.bulk_load(loaded)
+    ops = _tuner_ops(scout.partition, loaded, list(withheld), num_ops,
+                     seed=scale.seed)
+    run_workload(scout, ops, workload="mixed")
+    tuner = ShardTuner()
+    plan = {shard.shard_id: tuner.choose(shard.op_mix())
+            for shard in scout.shards}
+
+    configs = [("divergent", [plan[s] for s in range(3)]),
+               ("uniform-btree", "btree"), ("uniform-alex", "alex")]
+    for label, names in configs:
+        tier = make_sharded_index(names, 3, sample_keys=sample,
+                                  profile=PROFILES["hdd"])
+        tier.bulk_load(loaded)
+        res = run_workload(tier, _tuner_ops(tier.partition, loaded,
+                                            list(withheld), num_ops,
+                                            seed=scale.seed),
+                           workload="mixed", validate=True, shards=3)
+        result.rows.append({
+            "section": "tuner", "device": "hdd", "config": label,
+            "composition": ",".join(tier.composition()),
+            "total_positionings": res.read_positionings
+                + res.write_positionings,
+            "read_pos": res.read_positionings,
+            "write_pos": res.write_positionings,
+            "p99_us": round(res.p99_latency_us, 1),
+        })
+
+    result.notes = (
+        "scaleout: per-shard pools aggregate with the shard count, so "
+        "charged read positionings per lookup fall as the tier scales "
+        "out. replicas: round-robin read fan-out over identical copies "
+        "leaves the tail unchanged. tuner: the P1-P5 scorer assigns "
+        "divergent per-shard classes under skewed mixes "
+        f"(plan: {plan}) and the divergent tier charges less total "
+        "positioning than any uniform writable choice.")
+    return result
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -727,6 +929,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "write_back": exp_write_back,
     "fault_sweep": exp_fault_sweep,
     "concurrency": exp_concurrency,
+    "sharding": exp_sharding,
 }
 
 
@@ -735,10 +938,13 @@ def experiment_ids() -> List[str]:
 
 
 def run_experiment(experiment_id: str, scale: Optional[Scale] = None,
-                   trace_path: Optional[str] = None) -> ExperimentResult:
+                   trace_path: Optional[str] = None,
+                   **kwargs) -> ExperimentResult:
     """Run one experiment; with ``trace_path`` set, attach a
     :class:`repro.obs.Tracer` to every index the experiment builds and
-    export the combined op-level trace as JSONL to that path."""
+    export the combined op-level trace as JSONL to that path.  Extra
+    keyword arguments pass through to the experiment function (e.g. the
+    ``concurrency`` experiment's ``shards``)."""
     try:
         fn = EXPERIMENTS[experiment_id]
     except KeyError:
@@ -746,13 +952,13 @@ def run_experiment(experiment_id: str, scale: Optional[Scale] = None,
             f"unknown experiment {experiment_id!r}; available: {experiment_ids()}"
         ) from None
     if trace_path is None:
-        return fn(scale)
+        return fn(scale, **kwargs)
     from ..obs import Tracer
     from .config import tracing
 
     tracer = Tracer()
     with tracing(tracer):
-        result = fn(scale)
+        result = fn(scale, **kwargs)
     tracer.export_jsonl(trace_path)
     tracer.unbind()
     return result

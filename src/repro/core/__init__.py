@@ -17,7 +17,8 @@ from .lipp import LippIndex
 from .persistence import load_index, save_index
 from .pgm import PgmIndex, StaticPgm
 from .plid import PlidIndex
-from .registry import INDEX_FACTORIES, index_names, make_index
+from .registry import (INDEX_FACTORIES, index_names, make_index,
+                       make_sharded_index)
 
 __all__ = [
     "AlexIndex",
@@ -37,4 +38,5 @@ __all__ = [
     "load_index",
     "save_index",
     "make_index",
+    "make_sharded_index",
 ]

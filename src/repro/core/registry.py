@@ -21,7 +21,8 @@ from .lipp import LippIndex
 from .pgm import PgmIndex
 from .plid import PlidIndex
 
-__all__ = ["make_index", "index_names", "INDEX_FACTORIES"]
+__all__ = ["make_index", "make_sharded_index", "index_names",
+           "INDEX_FACTORIES"]
 
 INDEX_FACTORIES: Dict[str, Callable[..., DiskIndex]] = {
     "btree": BTreeIndex,
@@ -57,3 +58,15 @@ def make_index(name: str, pager: Pager, **params) -> DiskIndex:
         raise ValueError(
             f"unknown index {name!r}; available: {sorted(INDEX_FACTORIES)}") from None
     return factory(pager, **params)
+
+
+def make_sharded_index(index_names, shards=None, **kwargs) -> DiskIndex:
+    """Build a range-partitioned :class:`repro.sharding.ShardedIndex`.
+
+    Unlike :func:`make_index`, no pager is passed: each shard member
+    owns its own device/pager/pool (see :mod:`repro.sharding`).
+    Imported lazily — :mod:`repro.sharding` builds its members through
+    this registry, so a top-level import would be circular.
+    """
+    from ..sharding import make_sharded_index as _make
+    return _make(index_names, shards, **kwargs)

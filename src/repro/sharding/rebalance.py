@@ -1,0 +1,158 @@
+"""Hot-range rebalancing: migrate keys between adjacent shards through
+the WAL.
+
+Range partitioning means a migration is always a *boundary move*: the
+hottest shard sheds the head or tail of its range to its neighbour.  The
+protocol is the classic copy / flip / purge three-phase move, with every
+data movement logged in the participating shards' own WALs so a crash at
+any point recovers to a consistent tier:
+
+1. **copy** — the moving pairs are read from the source primary
+   (charged) and inserted into the destination through its logged write
+   path (``Shard.apply(..., log=True)``), then the destination WAL is
+   flushed: the copies are durable before anything changes hands.
+2. **flip** — the partition boundary moves
+   (:meth:`RangePartition.set_boundary`).  This is the commit point: a
+   single in-memory mutation, after which the router sends the moved
+   range to the destination.
+3. **purge** — the source deletes its now-foreign copies through its
+   logged write path and flushes its WAL.
+
+Crash safety comes from range *clipping*, not atomicity across shards:
+the router only ever asks a shard for keys inside its partition range,
+so orphans — destination copies before the flip, source leftovers after
+— are unreachable.  Each shard's recovery replays its own WAL's durable
+prefix exactly as always; whichever side of the flip the crash happened
+on, scans and lookups return one copy of every key.  (A post-recovery
+``scrub_orphans`` reclaims invisible leftovers.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .sharded import ShardedIndex
+
+__all__ = ["Rebalancer", "MigrationReport"]
+
+
+@dataclass(frozen=True)
+class MigrationReport:
+    """What one boundary move did and what it cost."""
+
+    source: int
+    destination: int
+    keys_moved: int
+    new_boundary: int          # the flipped split key
+    logged_records: int        # insert + delete records through the WALs
+    elapsed_us: float          # charged simulated time, copy + purge
+
+
+class Rebalancer:
+    """Moves key ranges between adjacent shards of a :class:`ShardedIndex`."""
+
+    def __init__(self, sharded: ShardedIndex) -> None:
+        self.sharded = sharded
+        self.migrations: List[MigrationReport] = []
+
+    # -- hot-shard detection -------------------------------------------------
+
+    def hottest_shard(self) -> int:
+        """The shard with the most observed operations (its op-mix
+        counters, i.e. traffic since the counters were last reset)."""
+        def heat(shard) -> int:
+            return sum(shard.op_counts.values())
+        shards = self.sharded.shards
+        return max(range(len(shards)), key=lambda i: heat(shards[i]))
+
+    def plan(self, fraction: float = 0.5) -> Optional[Tuple[int, int, int]]:
+        """Suggest ``(source, destination, count)``: shed ``fraction`` of
+        the hottest shard's keys to its cooler adjacent neighbour.
+        Returns None for a single-shard tier."""
+        shards = self.sharded.shards
+        if len(shards) < 2:
+            return None
+        src = self.hottest_shard()
+        neighbours = [n for n in (src - 1, src + 1) if 0 <= n < len(shards)]
+        dst = min(neighbours,
+                  key=lambda n: sum(shards[n].op_counts.values()))
+        with self.sharded.shards[src].primary.index._free_io():
+            held = len(shards[src].primary_scan_range(0, 2**64 - 1))
+        count = int(held * fraction)
+        return (src, dst, count) if count > 0 else None
+
+    # -- the migration itself ------------------------------------------------
+
+    def migrate(self, source: int, destination: int,
+                count: int) -> MigrationReport:
+        """Move ``count`` keys from ``source`` into adjacent ``destination``.
+
+        Moves the keys nearest the shared boundary (the tail of the
+        source range when the destination is above it, the head when
+        below) and flips the boundary between the copy and the purge.
+        """
+        if abs(source - destination) != 1:
+            raise ValueError(
+                f"range migration is a boundary move between adjacent "
+                f"shards; got {source} -> {destination}")
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        sharded = self.sharded
+        src = sharded.shards[source]
+        dst = sharded.shards[destination]
+        lo, hi = sharded.partition.range_of(source)
+        stats_before = sharded.device.stats.elapsed_us
+
+        contents = src.primary_scan_range(lo, hi - 1)
+        if count >= len(contents):
+            raise ValueError(
+                f"cannot move {count} of shard {source}'s {len(contents)} "
+                f"keys: a shard must keep at least one")
+        if destination > source:
+            moving = contents[-count:]        # tail of the range moves up
+            new_boundary = moving[0][0]
+            boundary_index = source          # boundary between src and dst
+        else:
+            moving = contents[:count]         # head of the range moves down
+            new_boundary = moving[-1][0] + 1
+            boundary_index = destination
+
+        # 1. copy: logged inserts into the destination, made durable.
+        for key, payload in moving:
+            dst.apply("insert", key, payload, log=True)
+        if dst.wal is not None:
+            dst.wal.flush()
+
+        # 2. flip: the commit point.
+        sharded.partition.set_boundary(boundary_index, new_boundary)
+
+        # 3. purge: logged deletes on the source, made durable.
+        for key, _ in moving:
+            src.apply("delete", key, log=True)
+        if src.wal is not None:
+            src.wal.flush()
+
+        report = MigrationReport(
+            source=source, destination=destination, keys_moved=len(moving),
+            new_boundary=new_boundary,
+            logged_records=2 * len(moving),
+            elapsed_us=sharded.device.stats.elapsed_us - stats_before)
+        self.migrations.append(report)
+        return report
+
+    def scrub_orphans(self) -> int:
+        """Delete keys a shard holds outside its partition range (unreachable
+        leftovers of a migration interrupted before its purge phase)."""
+        removed = 0
+        for shard in self.sharded.shards:
+            lo, hi = self.sharded.partition.range_of(shard.shard_id)
+            with shard.primary.index._free_io():
+                contents = shard.primary.index.scan_range(0, 2**64 - 1)
+            for key, _ in contents:
+                if not lo <= key < hi:
+                    shard.apply("delete", key, log=True)
+                    removed += 1
+            if shard.wal is not None:
+                shard.wal.flush()
+        return removed

@@ -1,0 +1,324 @@
+"""One shard: a primary replica group over independent devices.
+
+A :class:`Shard` owns a *primary* :class:`ShardMember` (its own
+:class:`~repro.storage.BlockDevice`, :class:`~repro.storage.Pager`,
+optional buffer pool, any registered index class) plus zero or more
+replica members with identical storage but independently charged I/O.
+Writes go to the primary — logged through the shard's own
+:class:`~repro.durability.WriteAheadLog` when durability is on — and the
+same logical records are shipped synchronously to every replica.  Reads
+fan out across the replica group under a pluggable policy
+(``primary`` / ``round_robin`` / ``least_loaded``).
+
+Replication model (DESIGN.md Section 14): shipping happens at *append*
+time, i.e. statement-level synchronous replication of the logical WAL
+record stream.  Replicas therefore never serve stale reads, but they can
+be *ahead* of the primary's durable log prefix — after a primary crash,
+:meth:`Shard.recover` rebuilds the replicas from the recovered primary
+image, exactly like a production failover re-seeding its followers.
+
+The shard also counts its observed operation mix (lookups / inserts /
+updates / deletes / scans / scanned entries), which is the input the
+:class:`~repro.sharding.tuner.ShardTuner` scores against the paper's
+P1-P5 rules to pick this shard's index class.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.interface import DiskIndex, KeyPayload
+from ..core.registry import make_index
+from ..durability.recovery import Checkpoint, RecoveryResult, recover, take_checkpoint
+from ..durability.wal import WriteAheadLog
+from ..storage import HDD, BlockDevice, DiskProfile, Pager, make_buffer_pool
+
+__all__ = ["Shard", "ShardMember", "REPLICA_POLICIES"]
+
+REPLICA_POLICIES = ("primary", "round_robin", "least_loaded")
+
+#: Counted operation kinds, in reporting order.
+OP_KINDS = ("lookup", "insert", "update", "delete", "scan")
+
+
+class ShardMember:
+    """One copy of a shard's data: device + pager + index."""
+
+    def __init__(self, index_name: str, *, profile: DiskProfile = HDD,
+                 block_size: int = 4096, buffer_blocks: int = 0,
+                 buffer_policy: str = "lru", write_back: bool = False,
+                 flush_watermark: Optional[int] = None,
+                 index_params: Optional[dict] = None) -> None:
+        self.index_name = index_name
+        self.device = BlockDevice(block_size, profile)
+        pool = (make_buffer_pool(buffer_blocks, buffer_policy)
+                if buffer_blocks > 0 else None)
+        self.pager = Pager(self.device, buffer_pool=pool,
+                           write_back=write_back,
+                           flush_watermark=flush_watermark)
+        self.index: DiskIndex = make_index(index_name, self.pager,
+                                           **(index_params or {}))
+        #: reads served by this member (read fan-out accounting).
+        self.reads_served = 0
+
+    @classmethod
+    def adopt(cls, index: DiskIndex, index_name: str) -> "ShardMember":
+        """Wrap an already-built index (the recovery path) as a member."""
+        member = cls.__new__(cls)
+        member.index_name = index_name
+        member.index = index
+        member.pager = index.pager
+        member.device = index.pager.device
+        member.reads_served = 0
+        return member
+
+    def dump(self) -> List[KeyPayload]:
+        """All live pairs, charged as a full scan on this member."""
+        return self.index.scan_range(0, 2**64 - 1)
+
+
+class Shard:
+    """A keyspace slice: primary + replicas + WAL + op-mix counters.
+
+    Args:
+        shard_id: position in the owning partition (for reporting).
+        index_name: registry name of the index class every member runs.
+        replicas: total copies including the primary (1 = no replicas).
+        replica_policy: read-routing policy across the replica group.
+        durability: when True, mutations log through a per-shard WAL on
+            the primary's device (created after bulk load, mirroring
+            ``fresh_index``'s ordering so a 1-shard tier is byte-for-byte
+            comparable with an unsharded one).
+        group_commit: WAL records buffered per log flush.
+        **member_kwargs: storage configuration forwarded to every
+            :class:`ShardMember` (profile, block_size, buffer_blocks,
+            buffer_policy, write_back, flush_watermark, index_params).
+    """
+
+    def __init__(self, shard_id: int, index_name: str, *, replicas: int = 1,
+                 replica_policy: str = "round_robin", durability: bool = False,
+                 group_commit: int = 8, **member_kwargs) -> None:
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        if replica_policy not in REPLICA_POLICIES:
+            raise ValueError(
+                f"unknown replica policy {replica_policy!r}; "
+                f"available: {REPLICA_POLICIES}")
+        self.shard_id = shard_id
+        self.index_name = index_name
+        self.replica_policy = replica_policy
+        self.durability = durability
+        self.group_commit = group_commit
+        self.member_kwargs = dict(member_kwargs)
+        self.primary = ShardMember(index_name, **self.member_kwargs)
+        self.replicas: List[ShardMember] = [
+            ShardMember(index_name, **self.member_kwargs)
+            for _ in range(replicas - 1)
+        ]
+        self.wal: Optional[WriteAheadLog] = None
+        self._rr_cursor = 0
+        self.op_counts: Dict[str, int] = {kind: 0 for kind in OP_KINDS}
+        self.entries_scanned = 0
+        self.shipped_records = 0
+
+    # -- membership ----------------------------------------------------------
+
+    @property
+    def replication_factor(self) -> int:
+        return 1 + len(self.replicas)
+
+    def members(self) -> List[ShardMember]:
+        return [self.primary] + self.replicas
+
+    def devices(self) -> Iterator[BlockDevice]:
+        for member in self.members():
+            yield member.device
+
+    def pagers(self) -> Iterator[Pager]:
+        for member in self.members():
+            yield member.pager
+
+    # -- build ---------------------------------------------------------------
+
+    def bulk_load(self, items: Sequence[KeyPayload]) -> None:
+        """Load every member, then arm the WAL (log-after-load, as in
+        ``fresh_index``: the bulk image is the recovery baseline, not a
+        replayable suffix)."""
+        for member in self.members():
+            member.index.bulk_load(items)
+        self._ensure_wal()
+
+    def _ensure_wal(self) -> None:
+        if self.durability and self.wal is None:
+            self.wal = WriteAheadLog(self.primary.pager,
+                                     group_commit=self.group_commit)
+            self.primary.index.attach_wal(self.wal)
+
+    # -- read path -----------------------------------------------------------
+
+    def _reader(self) -> ShardMember:
+        """Pick the member that serves the next read."""
+        members = self.members()
+        if len(members) == 1 or self.replica_policy == "primary":
+            choice = members[0]
+        elif self.replica_policy == "round_robin":
+            choice = members[self._rr_cursor % len(members)]
+            self._rr_cursor += 1
+        else:
+            # least_loaded: least charged time so far, reads served as
+            # the tiebreak (free-I/O devices never accumulate time).
+            choice = min(members, key=lambda m: (m.device.stats.elapsed_us,
+                                                 m.reads_served))
+        choice.reads_served += 1
+        return choice
+
+    def lookup(self, key: int) -> Optional[int]:
+        self.op_counts["lookup"] += 1
+        return self._reader().index.lookup(key)
+
+    def lookup_many(self, keys: Iterable[int]) -> List[Optional[int]]:
+        keys = list(keys)
+        self.op_counts["lookup"] += len(keys)
+        return self._reader().index.lookup_many(keys)
+
+    def scan(self, start_key: int, count: int) -> List[KeyPayload]:
+        self.op_counts["scan"] += 1
+        out = self._reader().index.scan(start_key, count)
+        self.entries_scanned += len(out)
+        return out
+
+    def scan_range(self, low: int, high: int) -> List[KeyPayload]:
+        self.op_counts["scan"] += 1
+        out = self._reader().index.scan_range(low, high)
+        self.entries_scanned += len(out)
+        return out
+
+    # -- write path ----------------------------------------------------------
+
+    def append_log(self, op: str, key: int, payload: int = 0) -> Optional[int]:
+        """Append one logical record to this shard's WAL (if durable)."""
+        self._ensure_wal()
+        if self.wal is None:
+            return None
+        return self.wal.append(op, key, payload)
+
+    def apply(self, op: str, key: int, payload: int = 0, *,
+              log: bool = True) -> object:
+        """Apply one mutation to the primary and ship it to the replicas.
+
+        ``log=False`` is the already-logged path: the caller (the fan-out
+        WAL facade or recovery replay) has appended the record itself.
+        """
+        if op not in ("insert", "update", "delete"):
+            raise ValueError(f"unknown mutation {op!r}")
+        if log:
+            self.append_log(op, key, payload)
+        self.op_counts[op] += 1
+        if op == "insert":
+            result: object = self.primary.index.insert(key, payload)
+        elif op == "update":
+            result = self.primary.index.update(key, payload)
+        else:
+            result = self.primary.index.delete(key)
+        self._ship(op, key, payload)
+        return result
+
+    def _ship(self, op: str, key: int, payload: int) -> None:
+        """Synchronous statement-level shipping of the logical record."""
+        for member in self.replicas:
+            if op == "insert":
+                member.index.insert(key, payload)
+            elif op == "update":
+                member.index.update(key, payload)
+            else:
+                member.index.delete(key)
+            self.shipped_records += 1
+
+    def flush(self) -> int:
+        """WAL tail first, then every member's dirty pages."""
+        if self.wal is not None:
+            self.wal.flush()
+        return sum(member.pager.flush() for member in self.members())
+
+    # -- lookups on the reader() policy need primary-only variants for the
+    # -- router's correctness-critical paths (e.g. migration reads).
+
+    def primary_scan_range(self, low: int, high: int) -> List[KeyPayload]:
+        return self.primary.index.scan_range(low, high)
+
+    # -- observed mix --------------------------------------------------------
+
+    def op_mix(self) -> Dict[str, int]:
+        mix = dict(self.op_counts)
+        mix["entries_scanned"] = self.entries_scanned
+        return mix
+
+    def reset_op_mix(self) -> None:
+        self.op_counts = {kind: 0 for kind in OP_KINDS}
+        self.entries_scanned = 0
+
+    # -- crash recovery ------------------------------------------------------
+
+    def checkpoint(self) -> Checkpoint:
+        """Durable snapshot of the primary (flushes WAL + dirty pages)."""
+        self._ensure_wal()
+        return take_checkpoint(self.primary.index, self.wal)
+
+    def recover(self, checkpoint: Checkpoint) -> RecoveryResult:
+        """Failover after a primary crash: redo the durable WAL prefix
+        onto the checkpoint image, adopt the result as the new primary,
+        and re-seed every replica from it.
+
+        The crashed primary's data files are never trusted (they may hold
+        a half-applied SMO); replicas are rebuilt because synchronous
+        shipping may have applied records past the durable prefix — acked
+        to nobody, so recovery must *unapply* them, and a re-seed is how
+        a follower rejoins after diverging.
+        """
+        if self.wal is None:
+            raise RuntimeError("cannot recover a shard without a WAL")
+        result = recover(checkpoint, self.wal,
+                         profile=self.member_kwargs.get("profile"))
+        self.primary = ShardMember.adopt(result.index, self.index_name)
+        self.wal = WriteAheadLog(self.primary.pager,
+                                 group_commit=self.group_commit)
+        # Continue the shard's sequence numbering where the durable
+        # prefix ended, so post-recovery appends extend the same history.
+        self.wal.next_seqno = result.last_seqno + 1
+        self.wal.durable_seqno = result.last_seqno
+        self.primary.index.attach_wal(self.wal)
+        if self.replicas:
+            items = self.primary_scan_range(0, 2**64 - 1)
+            rebuilt = []
+            for _ in self.replicas:
+                member = ShardMember(self.index_name, **self.member_kwargs)
+                member.index.bulk_load(items)
+                rebuilt.append(member)
+            self.replicas = rebuilt
+        return result
+
+    # -- integrity -----------------------------------------------------------
+
+    def verify(self, key_range: Optional[Tuple[int, int]] = None) -> int:
+        """Structural verify on every member, plus replica-group agreement
+        and (when given the shard's ``[lo, hi)`` range) ownership checks.
+
+        Returns the primary's live entry count.
+        """
+        live = self.primary.index.verify()
+        for member in self.replicas:
+            member.index.verify()
+        with self.primary.index._free_io():
+            contents = self.primary.index.scan_range(0, 2**64 - 1)
+        if key_range is not None:
+            lo, hi = key_range
+            for key, _ in contents:
+                assert lo <= key < hi, (
+                    f"shard {self.shard_id} holds out-of-range key {key} "
+                    f"(owns [{lo}, {hi}))")
+        for member in self.replicas:
+            with member.index._free_io():
+                replica_contents = member.index.scan_range(0, 2**64 - 1)
+            assert replica_contents == contents, (
+                f"shard {self.shard_id}: replica diverged from primary")
+        return live

@@ -111,6 +111,13 @@ class RunResult:
     write_latch_wait_us: float = 0.0  # latch stalls charged to inserts
     snapshot_reads: int = 0      # reads served at snapshot isolation
     snapshot_suppressed: int = 0  # snapshot reads hiding a not-yet-durable key
+    # -- sharded tier (defaults describe an unsharded index) --
+    shards: int = 1              # range-partitioned shards behind the index
+    replicas: int = 1            # copies per shard including the primary
+    #: per shard id: index class, key range, op counts, per-member I/O
+    #: and read fan-out, replication and log traffic — only filled when
+    #: the index is a :class:`repro.sharding.ShardedIndex`.
+    per_shard: Dict[int, dict] = field(default_factory=dict)
 
     @property
     def flushes_per_committed_write(self) -> float:
@@ -181,7 +188,9 @@ def run_workload(index: DiskIndex, ops: Sequence[Operation], workload: str = "",
                  snapshot_reads: bool = True,
                  commit_group: Optional[int] = None,
                  commit_timeout_us: Optional[float] = 10_000.0,
-                 latching: bool = True) -> RunResult:
+                 latching: bool = True,
+                 shards: Optional[int] = None,
+                 replicas: Optional[int] = None) -> RunResult:
     """Execute ``ops`` against a loaded index and collect metrics.
 
     Args:
@@ -232,6 +241,12 @@ def run_workload(index: DiskIndex, ops: Sequence[Operation], workload: str = "",
             serving-engine knobs, forwarded to
             :class:`~repro.serving.ServingEngine`.  Ignored on the
             single-client path.
+        shards / replicas: assert the index's sharded topology.  A
+            :class:`repro.sharding.ShardedIndex` carries its own shard
+            count and replication factor; passing these makes the call
+            self-documenting and fails fast on a mismatch (an unsharded
+            index is topology 1/1).  Either way a sharded run's result
+            gains ``shards`` / ``replicas`` / ``per_shard``.
 
     On the serving path, latencies are *client-perceived*: an op's latch
     stalls and a write's group-commit wait are part of its latency, the
@@ -248,6 +263,16 @@ def run_workload(index: DiskIndex, ops: Sequence[Operation], workload: str = "",
     pager then flushes its dirty pages in coalesced runs (the workload
     phase boundary is one of the three flush points).
     """
+    actual_shards = getattr(index, "num_shards", 1)
+    actual_replicas = getattr(index, "replication_factor", 1)
+    if shards is not None and shards != actual_shards:
+        raise ValueError(
+            f"run_workload(shards={shards}) but the index has "
+            f"{actual_shards} shard(s); build it with make_sharded_index")
+    if replicas is not None and replicas != actual_replicas:
+        raise ValueError(
+            f"run_workload(replicas={replicas}) but the index replicates "
+            f"{actual_replicas}x")
     if batch < 1:
         raise ValueError("batch must be >= 1")
     if batch > 1 and fault_injector is not None:
@@ -280,6 +305,8 @@ def run_workload(index: DiskIndex, ops: Sequence[Operation], workload: str = "",
     flushes_before = pager.flushes
     dirty_evictions_before = (pager.buffer_pool.dirty_evictions
                               if pager.buffer_pool is not None else 0)
+    shard_view = (index.per_shard_snapshot()
+                  if hasattr(index, "per_shard_snapshot") else None)
     latencies = np.empty(len(ops), dtype=np.float64)
     executed = len(ops)
     crashed_at: Optional[int] = None
@@ -470,6 +497,10 @@ def run_workload(index: DiskIndex, ops: Sequence[Operation], workload: str = "",
         op_io_histograms=(
             {k: h.summary() for k, h in io_hists.items()}
             if tracer is not None else None),
+        shards=actual_shards,
+        replicas=actual_replicas,
+        per_shard=(index.per_shard_delta(shard_view)
+                   if shard_view is not None else {}),
     )
 
 
@@ -539,6 +570,8 @@ def _run_serving(index: DiskIndex, ops: Sequence[Operation], *, workload: str,
     flushes_before = pager.flushes
     dirty_evictions_before = (pager.buffer_pool.dirty_evictions
                               if pager.buffer_pool is not None else 0)
+    shard_view = (index.per_shard_snapshot()
+                  if hasattr(index, "per_shard_snapshot") else None)
 
     engine = ServingEngine(
         index, streams, scan_length=scan_length, validate=validate,
@@ -638,4 +671,8 @@ def _run_serving(index: DiskIndex, ops: Sequence[Operation], *, workload: str,
         write_latch_wait_us=report.write_latch_wait_us,
         snapshot_reads=report.snapshot_reads,
         snapshot_suppressed=report.snapshot_suppressed,
+        shards=getattr(index, "num_shards", 1),
+        replicas=getattr(index, "replication_factor", 1),
+        per_shard=(index.per_shard_delta(shard_view)
+                   if shard_view is not None else {}),
     )

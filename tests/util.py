@@ -21,6 +21,16 @@ def make_pager(block_size: int = 4096, buffer_blocks: int = 0) -> Pager:
     return Pager(BlockDevice(block_size=block_size, profile=HDD), buffer_pool=pool)
 
 
+def make_sharded(index_names, shards=None, **kwargs):
+    """A :class:`repro.sharding.ShardedIndex` on free-I/O devices, so
+    correctness tests pay no simulated latency.  Accepts everything
+    :func:`repro.core.make_sharded_index` does."""
+    from repro.core import make_sharded_index
+    from repro.storage import NULL_DEVICE
+    kwargs.setdefault("profile", NULL_DEVICE)
+    return make_sharded_index(index_names, shards, **kwargs)
+
+
 def random_sorted_keys(n: int, seed: int = 0, key_space: int = 10**12) -> list:
     rng = random.Random(seed)
     return sorted(rng.sample(range(key_space), n))
@@ -93,8 +103,8 @@ class ReferenceModel:
 #: Default mix for mutation streams: read-heavy enough to observe the
 #: effects of every structural modification soon after it happens.
 MUTATION_KINDS = ("insert", "insert", "update", "delete", "lookup", "lookup",
-                  "scan", "scan_range")
-READONLY_KINDS = ("lookup", "lookup", "scan", "scan_range")
+                  "scan", "scan_range", "lookup_many")
+READONLY_KINDS = ("lookup", "lookup", "scan", "scan_range", "lookup_many")
 
 
 def _pick_key(rng, model, key_space, prefer_existing):
@@ -150,6 +160,16 @@ def run_differential(index, model, num_ops, seed, kinds=MUTATION_KINDS,
             low, high = min(a, b), max(a, b)
             assert index.scan_range(low, high) == model.scan_range(low, high), \
                 (i, kind, low, high)
+        elif kind == "lookup_many":
+            # A batch with hits, misses, and duplicate keys: the batched
+            # path must answer position-for-position like per-key lookups
+            # (and, on a sharded tier, survive boundary-straddling splits).
+            batch = [_pick_key(rng, model, key_space, prefer_existing=0.5)
+                     for _ in range(rng.randrange(1, 9))]
+            if len(batch) > 2:
+                batch[rng.randrange(len(batch))] = batch[0]
+            expected = [model.lookup(k) for k in batch]
+            assert index.lookup_many(batch) == expected, (i, kind, batch)
         else:  # pragma: no cover - guards against stream-mix typos
             raise ValueError(f"unknown op kind {kind!r}")
     check_full_agreement(index, model)
