@@ -242,6 +242,20 @@ PAPER_EXPECTATIONS: Dict[str, Dict[str, str]] = {
                  "than any uniform writable choice; routing through a "
                  "1-shard tier charges zero extra positionings.",
     },
+    "wallclock": {
+        "artifact": "Extension (vectorized execution)",
+        "paper": "The paper measures real elapsed time on real devices; "
+                 "this reproduction charges a simulated cost model, so "
+                 "its Python execution speed is normally invisible. This "
+                 "experiment times the interpreter itself.",
+        "shape": "Vectorized batch-64 lookups beat the scalar path on "
+                 "real wall-clock for every index — >= 3x for B+-tree "
+                 "and hybrid (whose scalar paths materialize full tuple "
+                 "lists per node) and >= 1.6x for ALEX/PGM (whose scalar "
+                 "paths already probe in place) — while the charged "
+                 "StorageStats stay bit-identical between the two modes "
+                 "on every cell.",
+    },
 }
 
 _HEADER = """\

@@ -32,18 +32,25 @@ only the *choice* is simplified (documented in DESIGN.md).
 from __future__ import annotations
 
 import struct
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..models import LinearModel
+import numpy as np
+
+from ..models import LinearModel, anchored_diff, truncate_positions
 from ..storage import Pager
 from .interface import DiskIndex, KeyPayload, TOMBSTONE
 from .serial import ENTRY_SIZE, NULL_BLOCK, pack_entries, unpack_entries
+from .vectorize import BlockMirror, enabled as _vectorized
 
 __all__ = ["AlexIndex"]
+
+_ENTRY = struct.Struct("<QQ")
+_U64 = struct.Struct("<Q")
 
 _INNER_HEADER = struct.Struct("<BxxxIddQ")  # type, fanout, slope, intercept, anchor
 _DATA_HEADER = struct.Struct("<BxxxIIddQIIII")
 # type, capacity, num_keys, slope, intercept, anchor, prev, next, num_inserts, num_shifts
+_DATA_HEADER_HOT = struct.Struct("<BxxxIIddQ")  # leading fields the lookup path needs
 HEADER_SIZE = 64
 _IS_DATA = 1 << 63
 _PTR_MASK = (1 << 40) - 1
@@ -75,6 +82,126 @@ def _ptr_is_data(ptr: int) -> bool:
 
 def _ptr_block(ptr: int) -> int:
     return ptr & _PTR_MASK
+
+
+def _search_node_vec(mirror: BlockMirror, base: int, capacity: int,
+                     key: int, pos: int) -> int:
+    """``_exponential_search`` against mirrored data-node bytes.
+
+    The probe sequence — and therefore every first-touch charge issued
+    through the pager — is identical to the scalar helper's; the common
+    non-straddling probe is inlined to a dict hit plus one
+    ``unpack_from`` on the mirrored block bytes.  The trailing
+    ``probe(lo)`` re-check is elided whenever the search already decoded
+    slot ``lo`` — for the scalar path that re-probe is a pin-cache hit,
+    so eliding it is charge-free.
+
+    ``base`` is the byte offset of the node's slot-0 entry
+    (``_entries_offset(block, capacity, 0)``).  Consecutive probes
+    usually land in the same block, so the last decoded block is kept in
+    ``cur_no``/``cur_data`` locals and only re-resolved on a change.
+    """
+    bs = mirror._bs
+    blocks = mirror.blocks
+    get = blocks.get
+    read_block = mirror.pager.read_block
+    data_file = mirror.file
+    unpack = _U64.unpack_from
+    cur_no = -1
+    cur_data = b""
+
+    offset = base + pos * ENTRY_SIZE
+    block_no = offset // bs
+    rel = offset - block_no * bs
+    if rel + ENTRY_SIZE <= bs:
+        cur_data = get(block_no)
+        if cur_data is None:
+            cur_data = read_block(data_file, block_no)
+            blocks[block_no] = cur_data
+        cur_no = block_no
+        pos_key = unpack(cur_data, rel)[0]
+    else:
+        pos_key = unpack(mirror.read(offset, ENTRY_SIZE), 0)[0]
+
+    lo_le_key = True  # e[lo] <= key proven by a probe already made
+    if pos_key <= key:
+        bound = 1
+        while pos + bound < capacity:
+            offset = base + (pos + bound) * ENTRY_SIZE
+            block_no = offset // bs
+            rel = offset - block_no * bs
+            if rel + ENTRY_SIZE <= bs:
+                if block_no != cur_no:
+                    cur_data = get(block_no)
+                    if cur_data is None:
+                        cur_data = read_block(data_file, block_no)
+                        blocks[block_no] = cur_data
+                    cur_no = block_no
+                probed = unpack(cur_data, rel)[0]
+            else:
+                probed = unpack(mirror.read(offset, ENTRY_SIZE), 0)[0]
+            if probed > key:
+                break
+            bound *= 2
+        # lo = pos + bound // 2 was probed <= key (or is pos itself).
+        lo, hi = pos + bound // 2, min(pos + bound, capacity - 1)
+    else:
+        bound = 1
+        while pos - bound >= 0:
+            offset = base + (pos - bound) * ENTRY_SIZE
+            block_no = offset // bs
+            rel = offset - block_no * bs
+            if rel + ENTRY_SIZE <= bs:
+                if block_no != cur_no:
+                    cur_data = get(block_no)
+                    if cur_data is None:
+                        cur_data = read_block(data_file, block_no)
+                        blocks[block_no] = cur_data
+                    cur_no = block_no
+                probed = unpack(cur_data, rel)[0]
+            else:
+                probed = unpack(mirror.read(offset, ENTRY_SIZE), 0)[0]
+            if probed <= key:
+                break
+            bound *= 2
+        else:
+            lo_le_key = False  # ran off the front: slot 0 never probed
+        lo, hi = max(pos - bound, 0), pos - bound // 2
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        offset = base + mid * ENTRY_SIZE
+        block_no = offset // bs
+        rel = offset - block_no * bs
+        if rel + ENTRY_SIZE <= bs:
+            if block_no != cur_no:
+                cur_data = get(block_no)
+                if cur_data is None:
+                    cur_data = read_block(data_file, block_no)
+                    blocks[block_no] = cur_data
+                cur_no = block_no
+            probed = unpack(cur_data, rel)[0]
+        else:
+            probed = unpack(mirror.read(offset, ENTRY_SIZE), 0)[0]
+        if probed <= key:
+            lo = mid
+            lo_le_key = True
+        else:
+            hi = mid - 1
+    if lo_le_key:
+        return lo
+    offset = base + lo * ENTRY_SIZE
+    block_no = offset // bs
+    rel = offset - block_no * bs
+    if rel + ENTRY_SIZE <= bs:
+        if block_no != cur_no:
+            cur_data = get(block_no)
+            if cur_data is None:
+                cur_data = read_block(data_file, block_no)
+                blocks[block_no] = cur_data
+        probed = unpack(cur_data, rel)[0]
+    else:
+        probed = unpack(mirror.read(offset, ENTRY_SIZE), 0)[0]
+    return lo if probed <= key else -1
 
 
 class _DataHeader:
@@ -429,6 +556,47 @@ class AlexIndex(DiskIndex):
             return -1
         return lo
 
+    # -- vectorized batch helpers ----------------------------------------------------
+    #
+    # The mirror-based twins below issue *exactly* the byte ranges the
+    # scalar helpers issue, in the same order, but serve ranges already
+    # fetched in this ``pager.batch()`` scope locally — those repeats are
+    # the calls the pager would have answered from its pin cache for
+    # free, so charged I/O stays bit-identical while the per-probe
+    # Python overhead collapses to a dict lookup and a slice.
+
+    def _descend_vec(self, key: int, mirror: BlockMirror,
+                     inner_headers: Dict[int, Tuple[int, LinearModel]],
+                     child_ptrs: Dict[Tuple[int, int], int],
+                     ptr: Optional[int] = None) -> int:
+        """``_descend`` through a mirror with parsed-header/pointer caches.
+
+        ``ptr`` lets the batched caller resume from a child pointer it
+        already resolved (the root level is predicted for the whole
+        batch in one numpy op)."""
+        if ptr is None:
+            if self.root_ptr is None:
+                raise RuntimeError("index not bulk-loaded")
+            ptr = self.root_ptr
+        while not _ptr_is_data(ptr):
+            offset = _ptr_block(ptr)
+            parsed = inner_headers.get(offset)
+            if parsed is None:
+                raw = mirror.read(offset, HEADER_SIZE)
+                _type, fanout, slope, intercept, anchor = (
+                    _INNER_HEADER.unpack_from(raw, 0))
+                parsed = inner_headers[offset] = (
+                    fanout, LinearModel(slope, intercept, anchor))
+            fanout, model = parsed
+            slot = model.predict_clamped(key, fanout)
+            child = child_ptrs.get((offset, slot))
+            if child is None:
+                raw = mirror.read(offset + HEADER_SIZE + slot * 8, 8)
+                child = child_ptrs[(offset, slot)] = _U64.unpack(raw)[0]
+            ptr = child
+        return _ptr_block(ptr)
+
+
     # -- lookup ----------------------------------------------------------------------
 
     def lookup(self, key: int) -> Optional[int]:
@@ -456,25 +624,156 @@ class AlexIndex(DiskIndex):
         unique = sorted(set(keys))
         results = {}
         with self.pager.phase("search"), self.pager.batch():
-            node_of = {key: self._descend(key)[0] for key in unique}
-            self.pager.read_span(self._data_file, node_of.values())
-            headers = {}
-            for key in unique:
-                block = node_of[key]
-                header = headers.get(block)
-                if header is None:
-                    header = headers[block] = self._read_data_header(block)
-                if header.num_keys == 0:
-                    results[key] = None
-                    continue
-                slot = self._exponential_search(block, header, key)
-                if slot < 0:
-                    results[key] = None
-                    continue
-                found_key, payload = self._read_entry(block, header.capacity, slot)
-                results[key] = (payload if found_key == key and payload != TOMBSTONE
-                                else None)
+            if _vectorized():
+                self._lookup_many_vec(unique, results)
+            else:
+                node_of = {key: self._descend(key)[0] for key in unique}
+                self.pager.read_span(self._data_file, node_of.values())
+                headers = {}
+                for key in unique:
+                    block = node_of[key]
+                    header = headers.get(block)
+                    if header is None:
+                        header = headers[block] = self._read_data_header(block)
+                    if header.num_keys == 0:
+                        results[key] = None
+                        continue
+                    slot = self._exponential_search(block, header, key)
+                    if slot < 0:
+                        results[key] = None
+                        continue
+                    found_key, payload = self._read_entry(block, header.capacity, slot)
+                    results[key] = (payload if found_key == key and payload != TOMBSTONE
+                                    else None)
         return [results[key] for key in keys]
+
+    def _lookup_many_vec(self, unique: List[int], results: dict) -> None:
+        """Vectorized batch body: mirror-served descent and probes, with
+        the root level and the in-node slot predictions each evaluated
+        for the whole batch in one numpy pass.  Pager calls (and hence
+        charged I/O) match the scalar body bit for bit."""
+        inner_mirror = BlockMirror(self.pager, self._inner_file)
+        data_mirror = BlockMirror(self.pager, self._data_file)
+        inner_headers: Dict[int, Tuple[int, LinearModel]] = {}
+        # Root-level entries key on the bare slot (hot path); deeper
+        # levels key on ``(node_off, slot)`` — the types cannot collide.
+        child_ptrs: Dict[Any, int] = {}
+        root = self.root_ptr
+        if root is None:
+            raise RuntimeError("index not bulk-loaded")
+        if _ptr_is_data(root):
+            block = _ptr_block(root)
+            node_of = dict.fromkeys(unique, block)
+        else:
+            # Every key starts at the root, so its slot predictions can
+            # be one batch op.  The root header is read first — exactly
+            # when the scalar body's first descent would read it — and
+            # child pointers resolve per key in batch order, preserving
+            # the scalar first-touch sequence.
+            root_off = _ptr_block(root)
+            raw = inner_mirror.read(root_off, HEADER_SIZE)
+            _type, fanout, slope, intercept, anchor = (
+                _INNER_HEADER.unpack_from(raw, 0))
+            root_model = LinearModel(slope, intercept, anchor)
+            inner_headers[root_off] = (fanout, root_model)
+            root_slots = root_model.predict_clamped_many(
+                np.array(unique, dtype=np.uint64), fanout).tolist()
+            node_of = {}
+            unpack_u64_from = _U64.unpack_from
+            bs = self.pager.block_size
+            inner_blocks = inner_mirror.blocks
+            inner_get = inner_blocks.get
+            ptr_base = root_off + HEADER_SIZE
+            for key, slot in zip(unique, root_slots):
+                child = child_ptrs.get(slot)
+                if child is None:
+                    # Pointer decode inlined from ``inner_mirror.read``:
+                    # same pager first-touch when the block is unseen,
+                    # same pin-equivalent dict hit when it is.
+                    offset = ptr_base + slot * 8
+                    block_no = offset // bs
+                    rel = offset - block_no * bs
+                    if rel + 8 <= bs:
+                        data = inner_get(block_no)
+                        if data is None:
+                            data = inner_mirror.pager.read_block(
+                                inner_mirror.file, block_no)
+                            inner_blocks[block_no] = data
+                        child = unpack_u64_from(data, rel)[0]
+                    else:
+                        child = _U64.unpack(inner_mirror.read(offset, 8))[0]
+                    child_ptrs[slot] = child
+                if _ptr_is_data(child):
+                    node_of[key] = _ptr_block(child)
+                else:
+                    node_of[key] = self._descend_vec(
+                        key, inner_mirror, inner_headers, child_ptrs,
+                        ptr=child)
+        data_mirror.absorb(self.pager.read_span(self._data_file, node_of.values()))
+        bs = self.pager.block_size
+        data_blocks = data_mirror.blocks
+        # Per-node (base, capacity, slope, intercept, anchor) — header
+        # blocks were all fetched by the span above, so decoding straight
+        # off the mirrored block bytes is charge-free.  Empty nodes map
+        # to None.  ``base`` inlines ``_entries_offset(block, capacity, 0)``.
+        node_params: Dict[int, Optional[Tuple[int, int, float, float, int]]] = {}
+        unpack_header = _DATA_HEADER_HOT.unpack_from
+        for block in node_of.values():
+            if block not in node_params:
+                (_type, capacity, num_keys, slope, intercept,
+                 anchor) = unpack_header(data_blocks[block], 0)
+                node_params[block] = (
+                    (block * bs + HEADER_SIZE + (capacity + 7) // 8, capacity,
+                     slope, intercept, anchor)
+                    if num_keys else None)
+        # One model evaluation for the whole batch: gather each key's node
+        # model parameters into parallel arrays and run a single anchored
+        # multiply-add.  Element-wise this applies exactly the float64 ops
+        # of per-node ``predict_clamped_many`` (same slope/intercept per
+        # lane), so predicted slots are identical.  ``items`` and
+        # ``params_list`` stay index-aligned so the search loop threads
+        # positions through without per-key dict lookups.
+        items = list(node_of.items())
+        params_list = [node_params[block] for _key, block in items]
+        gathered = [(item[0], params, i)
+                    for i, (item, params) in enumerate(zip(items, params_list))
+                    if params is not None]
+        pos_list: List[int] = [0] * len(items)
+        if gathered:
+            pred_keys = [g[0] for g in gathered]
+            _bases, _caps, slopes, intercepts, anchors = zip(
+                *(g[1] for g in gathered))
+            diffs = anchored_diff(np.array(pred_keys, dtype=np.uint64),
+                                  np.array(anchors, dtype=np.uint64))
+            positions = truncate_positions(
+                np.array(slopes) * diffs + np.array(intercepts))
+            np.clip(positions, 0, np.array(_caps, dtype=np.int64) - 1,
+                    out=positions)
+            for g, pos in zip(gathered, positions.tolist()):
+                pos_list[g[2]] = pos
+        unpack_entry = _ENTRY.unpack_from
+        for (key, _block), params, pos in zip(items, params_list, pos_list):
+            if params is None:
+                results[key] = None
+                continue
+            base, capacity = params[0], params[1]
+            slot = _search_node_vec(data_mirror, base, capacity, key, pos)
+            if slot < 0:
+                results[key] = None
+                continue
+            offset = base + slot * ENTRY_SIZE
+            block_no = offset // bs
+            rel = offset - block_no * bs
+            if rel + ENTRY_SIZE <= bs:
+                # The winning slot was just probed, so its block is
+                # mirrored; decode in place (scalar re-reads it through
+                # the pin cache — equally charge-free).
+                found_key, payload = unpack_entry(data_blocks[block_no], rel)
+            else:
+                found_key, payload = _ENTRY.unpack(
+                    data_mirror.read(offset, ENTRY_SIZE))
+            results[key] = (payload if found_key == key and payload != TOMBSTONE
+                            else None)
 
     # -- insert ----------------------------------------------------------------------
 

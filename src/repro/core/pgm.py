@@ -31,12 +31,34 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 from ..models import optimal_segments
 from ..storage import BlockFile, Pager
 from .interface import DiskIndex, KeyPayload, TOMBSTONE
-from .serial import ENTRY_SIZE, pack_entries, unpack_entries
+from .serial import ENTRY_SIZE, entry_at, pack_entries, payload_at, unpack_entries
+from .vectorize import BlockMirror, enabled as _vectorized
 
 __all__ = ["StaticPgm", "PgmIndex"]
 
 _DESCRIPTOR = struct.Struct("<Qdd")  # first_key, slope, intercept
 DESCRIPTOR_SIZE = _DESCRIPTOR.size  # 24
+
+_U64 = struct.Struct("<Q")
+
+
+def _floor_slot_raw(raw, count: int, key: int, stride: int) -> int:
+    """``_floor_slot`` over packed records in ``raw`` whose leading field
+    is a little-endian u64 key, decoding only the probed keys.
+
+    For the small windows PGM descends through (2*epsilon+3 records) this
+    beats building an array view: log2(n) 8-byte decodes instead of a
+    numpy call per window.
+    """
+    unpack = _U64.unpack_from
+    lo, hi = 0, count
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if unpack(raw, mid * stride)[0] <= key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo - 1 if lo else 0
 
 
 class StaticPgm:
@@ -186,12 +208,50 @@ class StaticPgm:
             return entries[slot][1]
         return None
 
+    def _descend_vec(self, key: int) -> Tuple[int, int]:
+        """``_descend`` with zero-copy descriptor parsing: only the
+        bisection probes and the winning descriptor are decoded from the
+        fetched window; reads are byte-identical to scalar."""
+        if self.root is None:
+            raise RuntimeError("component not built")
+        model = self.root
+        for level in range(len(self.level_table) - 1, -1, -1):
+            base, count = self.level_table[level]
+            lo, hi = self._clamped_window(self._predict(model, key), count)
+            raw = self.pager.read_bytes(self.levels_file,
+                                        base + lo * DESCRIPTOR_SIZE,
+                                        (hi - lo + 1) * DESCRIPTOR_SIZE)
+            slot = _floor_slot_raw(raw, hi - lo + 1, key, DESCRIPTOR_SIZE)
+            model = _DESCRIPTOR.unpack_from(raw, slot * DESCRIPTOR_SIZE)
+        return self._clamped_window(self._predict(model, key), self.count)
+
+    def lookup_vec(self, key: int) -> Optional[int]:
+        """``lookup`` decoding only the bisection probes (same fetches
+        as scalar)."""
+        if key < self.min_key or key > self.max_key:
+            return None
+        lo, hi = self._descend_vec(key)
+        raw = self.pager.read_bytes(self.data_file, lo * ENTRY_SIZE,
+                                    (hi - lo + 1) * ENTRY_SIZE)
+        slot = _floor_slot_raw(raw, hi - lo + 1, key, ENTRY_SIZE)
+        if _U64.unpack_from(raw, slot * ENTRY_SIZE)[0] == key:
+            return payload_at(raw, slot)
+        return None
+
     def ceiling_position(self, key: int) -> int:
         """Index of the first entry with key >= ``key`` (may equal count)."""
         if key <= self.min_key:
             return 0
         if key > self.max_key:
             return self.count
+        if _vectorized():
+            lo, hi = self._descend_vec(key)
+            raw = self.pager.read_bytes(self.data_file, lo * ENTRY_SIZE,
+                                        (hi - lo + 1) * ENTRY_SIZE)
+            slot = _floor_slot_raw(raw, hi - lo + 1, key, ENTRY_SIZE)
+            if _U64.unpack_from(raw, slot * ENTRY_SIZE)[0] >= key:
+                return lo + slot
+            return lo + slot + 1
         lo, hi = self._descend(key)
         entries = self._read_data_range(lo, hi)
         keys = [k for k, _ in entries]
@@ -201,7 +261,13 @@ class StaticPgm:
         return lo + slot + 1
 
     def iterate_from(self, position: int) -> Iterator[KeyPayload]:
-        """Yield entries sequentially starting at a data position."""
+        """Yield entries sequentially starting at a data position.
+
+        Blocks are fetched identically in both execution modes; the
+        vectorized mode just extracts entries from the fetched bytes one
+        at a time as the consumer pulls them, so a take-1 scan (the
+        hybrid's routing pattern) no longer pays for parsing the whole
+        block into tuples."""
         bs = self.pager.block_size
         per_block = bs // ENTRY_SIZE
         pos = position
@@ -211,9 +277,13 @@ class StaticPgm:
             in_block = min(per_block, self.count - first_in_block)
             raw = self.pager.read_bytes(self.data_file, first_in_block * ENTRY_SIZE,
                                         in_block * ENTRY_SIZE)
-            entries = unpack_entries(raw, in_block)
-            for entry in entries[pos - first_in_block :]:
-                yield entry
+            if _vectorized():
+                for i in range(pos - first_in_block, in_block):
+                    yield entry_at(raw, i)
+            else:
+                entries = unpack_entries(raw, in_block)
+                for entry in entries[pos - first_in_block :]:
+                    yield entry
             pos = first_in_block + in_block
 
     def destroy(self) -> None:
@@ -320,10 +390,33 @@ class PgmIndex(DiskIndex):
         unique = sorted(set(keys))
         results = {}
         with self.pager.phase("search"), self.pager.batch():
-            for key in unique:
-                results[key] = self._lookup_raw(key)
+            if _vectorized():
+                # One buffer mirror for the whole batch: probe reads hit
+                # the same byte ranges in the same order as scalar, but
+                # revisited buffer blocks skip the pager walk (they are
+                # pinned in this batch scope — free either way).
+                buffer_mirror = BlockMirror(self.pager, self._buffer_file)
+                for key in unique:
+                    results[key] = self._lookup_raw_vec(key, buffer_mirror)
+            else:
+                for key in unique:
+                    results[key] = self._lookup_raw(key)
         return [None if results[key] == TOMBSTONE else results[key]
                 for key in keys]
+
+    def _lookup_raw_vec(self, key: int,
+                        buffer_mirror: BlockMirror) -> Optional[int]:
+        """Newest-wins lookup through the vectorized component paths."""
+        found = _binary_find_region_vec(buffer_mirror, 0, self.buffer_count, key)
+        if found is not None:
+            return found
+        for component in self.components:
+            if component is None:
+                continue
+            result = component.lookup_vec(key)
+            if result is not None:
+                return result
+        return None
 
     # -- insert -----------------------------------------------------------------------
 
@@ -548,6 +641,25 @@ def _binary_find_region(pager: Pager, file: BlockFile, base_offset: int,
         mid = (lo + hi) // 2
         raw = pager.read_bytes(file, base_offset + mid * ENTRY_SIZE, ENTRY_SIZE)
         mid_key, payload = unpack_entries(raw, 1)[0]
+        if mid_key == key:
+            return payload
+        if mid_key < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return None
+
+
+def _binary_find_region_vec(mirror: BlockMirror, base_offset: int,
+                            count: int, key: int) -> Optional[int]:
+    """:func:`_binary_find_region` served through a :class:`BlockMirror`:
+    identical probe sequence, but blocks already mirrored in this batch
+    scope skip the pager walk (pin-cache-equivalent, charge-free)."""
+    lo, hi = 0, count
+    while lo < hi:
+        mid = (lo + hi) // 2
+        raw = mirror.read(base_offset + mid * ENTRY_SIZE, ENTRY_SIZE)
+        mid_key, payload = entry_at(raw, 0)
         if mid_key == key:
             return payload
         if mid_key < key:

@@ -8,13 +8,22 @@ so one key-payload entry is 16 bytes and a 4 KiB block holds 256 entries
 The pack/unpack helpers run on every block (de)serialization, so they use
 one flattened ``struct`` call per batch (with the per-count ``Struct``
 objects cached) instead of a Python-level loop of ``pack_into`` calls.
+
+The zero-copy side (DESIGN.md §15): :func:`keys_view` exposes the sorted
+key column of a serialized region as a strided ``numpy`` view over the
+raw block bytes — no tuples, no copies — so batched lookups can run one
+``np.searchsorted`` per leaf and only touch payload bytes on the hit, via
+:func:`entry_at`.
 """
 
 from __future__ import annotations
 
 import struct
 from functools import lru_cache
+from itertools import chain
 from typing import List, Sequence, Tuple
+
+import numpy as np
 
 __all__ = [
     "ENTRY_SIZE",
@@ -25,6 +34,9 @@ __all__ = [
     "pack_u64s",
     "unpack_u64s",
     "entries_per_block",
+    "keys_view",
+    "entry_at",
+    "payload_at",
 ]
 
 KEY_SIZE = 8
@@ -33,12 +45,21 @@ ENTRY_SIZE = 16
 NULL_BLOCK = 0xFFFFFFFF
 
 _ENTRY = struct.Struct("<QQ")
+_U64 = struct.Struct("<Q")
 
 
 @lru_cache(maxsize=1024)
 def _u64_struct(count: int) -> struct.Struct:
     """Cached ``Struct`` for ``count`` little-endian uint64s."""
     return struct.Struct(f"<{count}Q")
+
+
+@lru_cache(maxsize=64)
+def _keys_dtype(stride: int) -> np.dtype:
+    """A one-field record dtype reading a ``<u8`` key out of each
+    ``stride``-byte record (used when the stride is not u64-aligned)."""
+    return np.dtype({"names": ["key"], "formats": ["<u8"],
+                     "offsets": [0], "itemsize": stride})
 
 
 def entries_per_block(block_size: int) -> int:
@@ -50,10 +71,7 @@ def pack_entries(items: Sequence[Tuple[int, int]]) -> bytes:
     """Serialize (key, payload) pairs to little-endian uint64 pairs."""
     if not items:
         return b""
-    flat: List[int] = []
-    for pair in items:
-        flat.extend(pair)
-    return _u64_struct(len(flat)).pack(*flat)
+    return _u64_struct(2 * len(items)).pack(*chain.from_iterable(items))
 
 
 def unpack_entries(data: bytes, count: int, offset: int = 0) -> List[Tuple[int, int]]:
@@ -70,3 +88,42 @@ def pack_u64s(values: Sequence[int]) -> bytes:
 
 def unpack_u64s(data: bytes, count: int, offset: int = 0) -> Tuple[int, ...]:
     return _u64_struct(count).unpack_from(data, offset) if count else ()
+
+
+def keys_view(data, count: int, offset: int = 0,
+              stride: int = ENTRY_SIZE) -> np.ndarray:
+    """Zero-copy uint64 view of the key column of ``count`` serialized
+    records of ``stride`` bytes each, starting at ``offset``.
+
+    The result aliases ``data`` (no copy): when the stride is a multiple
+    of 8 it is a sliced ``<u8`` view, otherwise a record-dtype field view
+    (e.g. the B+-tree's 12-byte inner entries).  Either form is accepted
+    by ``np.searchsorted`` directly.
+    """
+    if count <= 0:
+        return _EMPTY_U64
+    if stride % 8 == 0:
+        step = stride // 8
+        flat = np.frombuffer(data, dtype="<u8",
+                             count=(count - 1) * step + 1, offset=offset)
+        return flat[::step]
+    rec = np.frombuffer(data, dtype=_keys_dtype(stride),
+                        count=count, offset=offset)
+    return rec["key"]
+
+
+_EMPTY_U64 = np.empty(0, dtype="<u8")
+
+
+def entry_at(data, index: int, offset: int = 0) -> Tuple[int, int]:
+    """The single (key, payload) entry at slot ``index`` — parses 16
+    bytes instead of materializing the whole region like
+    :func:`unpack_entries`."""
+    return _ENTRY.unpack_from(data, offset + index * ENTRY_SIZE)
+
+
+def payload_at(data, index: int, offset: int = 0,
+               stride: int = ENTRY_SIZE) -> int:
+    """The uint64 payload of the record at slot ``index`` (the 8 bytes
+    following the key)."""
+    return _U64.unpack_from(data, offset + index * stride + KEY_SIZE)[0]

@@ -1,0 +1,96 @@
+"""Vectorized-execution switch and charge-preserving batch helpers.
+
+DESIGN.md §15: the vectorized ``lookup_many`` paths change *only*
+wall-clock behaviour.  Charged I/O (``StorageStats`` positionings /
+reads / writes) must stay bit-identical to the scalar paths, which the
+test suite and the wall-clock perf-smoke assert for every registered
+index.  Two tools make that invariant easy to keep:
+
+* a process-wide switch (:func:`enabled` / :func:`scalar_lookups`) so
+  the scalar paths stay callable — the bit-identity tests and the
+  ``--wallclock`` benchmark run both modes on identical fresh devices;
+
+* :class:`BlockMirror` — a per-batch local copy of block bytes fetched
+  *through the pager*.  Re-reads of a block already fetched in the same
+  ``pager.batch()`` scope are served locally instead of re-walking the
+  pager.  Inside a batch scope every touched block is pinned, so the
+  skipped pager calls are exactly the calls the pager would have served
+  from its pin cache for free — same device operations, same order,
+  same charges; only the Python per-probe overhead disappears.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+__all__ = ["BlockMirror", "enabled", "scalar_lookups", "set_vectorized"]
+
+_VECTORIZED = True
+
+
+def enabled() -> bool:
+    """True when the vectorized ``lookup_many`` paths are active."""
+    return _VECTORIZED
+
+
+def set_vectorized(on: bool) -> bool:
+    """Flip the switch; returns the previous setting."""
+    global _VECTORIZED
+    previous = _VECTORIZED
+    _VECTORIZED = bool(on)
+    return previous
+
+
+@contextmanager
+def scalar_lookups() -> Iterator[None]:
+    """Run the block with the scalar (pre-vectorization) lookup paths."""
+    previous = set_vectorized(False)
+    try:
+        yield
+    finally:
+        set_vectorized(previous)
+
+
+class BlockMirror:
+    """Local mirror of one file's blocks fetched through the pager.
+
+    ``read(offset, length)`` behaves exactly like
+    ``pager.read_bytes(file, offset, length)`` — single-block ranges go
+    through ``read_block``, multi-block ranges through ``read_span``, so
+    first touches charge identically — but every fetched block is kept
+    locally and later reads covered by mirrored blocks skip the pager.
+    Only valid inside a ``pager.batch()`` scope (the mirror's lifetime
+    must not exceed the pin cache's, or a skipped re-read could differ
+    from what the pager would have charged).
+    """
+
+    __slots__ = ("pager", "file", "blocks", "_bs")
+
+    def __init__(self, pager, file, blocks: Dict[int, bytes] = None) -> None:
+        self.pager = pager
+        self.file = file
+        self.blocks: Dict[int, bytes] = {} if blocks is None else dict(blocks)
+        self._bs = pager.block_size
+
+    def absorb(self, span: Dict[int, bytes]) -> None:
+        """Mirror blocks already fetched elsewhere (e.g. a ``read_span``)."""
+        self.blocks.update(span)
+
+    def read(self, offset: int, length: int) -> bytes:
+        bs = self._bs
+        first = offset // bs
+        last = (offset + length - 1) // bs
+        blocks = self.blocks
+        start = offset - first * bs
+        if first == last:
+            data = blocks.get(first)
+            if data is None:
+                data = self.pager.read_block(self.file, first)
+                blocks[first] = data
+            return data[start : start + length]
+        missing = any(no not in blocks for no in range(first, last + 1))
+        if missing:
+            blocks.update(self.pager.read_span(self.file, range(first, last + 1)))
+        blob = b"".join(blocks[no] for no in range(first, last + 1))
+        return blob[start : start + length]

@@ -1,16 +1,20 @@
 """Model substrate: linear models, PLA segmentation, FMCD."""
 
 from .fmcd import FmcdResult, build_fmcd_model, conflict_degree, lipp_node_slots
-from .linear import LinearModel
-from .pla import Segment, optimal_segments, shrinking_cone_segments
+from .linear import LinearModel, anchored_diff, truncate_positions, truncate_slots
+from .pla import Segment, SegmentArray, optimal_segments, shrinking_cone_segments
 
 __all__ = [
     "FmcdResult",
     "LinearModel",
     "Segment",
+    "SegmentArray",
+    "anchored_diff",
     "build_fmcd_model",
     "conflict_degree",
     "lipp_node_slots",
     "optimal_segments",
     "shrinking_cone_segments",
+    "truncate_positions",
+    "truncate_slots",
 ]

@@ -17,7 +17,75 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["LinearModel"]
+__all__ = ["LinearModel", "NUMPY_MIN", "anchored_diff",
+           "truncate_positions", "truncate_slots"]
+
+#: Minimum numpy release the vectorized paths are tested against
+#: (record-dtype ``np.frombuffer`` views, NEP-50-stable uint64 casts).
+#: Mirrored by the ``numpy>=`` floor in ``pyproject.toml``.
+NUMPY_MIN = (1, 22)
+
+
+def _check_numpy_version() -> None:
+    parts = np.__version__.split(".")
+    try:
+        major = int(parts[0])
+        minor = int("".join(ch for ch in parts[1] if ch.isdigit()) or "0")
+    except (IndexError, ValueError):  # pragma: no cover - dev builds
+        return
+    if (major, minor) < NUMPY_MIN:
+        floor = ".".join(map(str, NUMPY_MIN))
+        raise ImportError(
+            f"repro requires numpy >= {floor} but found numpy "
+            f"{np.__version__}.  The vectorized lookup paths rely on "
+            "record-dtype np.frombuffer views and modern uint64->float64 "
+            f"cast semantics; upgrade with: pip install 'numpy>={floor}'")
+
+
+_check_numpy_version()
+
+#: Float positions are clipped to this magnitude before the int64 cast in
+#: the clamped-slot paths; anything beyond it clamps to the ends of the
+#: slot range anyway, and the cast itself stays exact below 2**63.
+_SLOT_CLIP = 1e18
+
+
+def anchored_diff(keys: np.ndarray, anchor) -> np.ndarray:
+    """``float64(int(key) - anchor)`` for a uint64 key array, exactly.
+
+    ``anchor`` is a uint64 scalar or a per-key uint64 array.  The
+    subtraction wraps modulo 2**64 in uint64, then each side of the
+    anchor converts its *magnitude* to float64 — the same
+    round-to-nearest-even conversion CPython applies in
+    ``float(int(key) - anchor)`` — so the result is bit-identical to the
+    scalar path even for keys near 2**64.
+    """
+    a = np.asarray(anchor, dtype=np.uint64)
+    d = keys - a
+    out = d.astype(np.float64)
+    below = keys < a
+    if below.any():
+        out[below] = -((np.uint64(0) - d[below]).astype(np.float64))
+    return out
+
+
+def truncate_positions(positions: np.ndarray) -> np.ndarray:
+    """``int(pos)`` vectorized: truncation toward zero, exactly like the
+    scalar cast for every position that matters.
+
+    ``astype(int64)`` truncates toward zero like Python ``int()``; the
+    pre-clip keeps the cast in-range, and since every caller clamps the
+    result into a slot/window range far below the clip magnitude, the
+    clipped extremes land on the same clamped slot as the scalar path.
+    """
+    pos = np.clip(positions, -_SLOT_CLIP, _SLOT_CLIP)
+    return pos.astype(np.int64)
+
+
+def truncate_slots(positions: np.ndarray, size: int) -> np.ndarray:
+    """``int(pos)`` then clamp to ``[0, size - 1]``, vectorized."""
+    slots = truncate_positions(positions)
+    return np.clip(slots, 0, size - 1, out=slots)
 
 
 @dataclass
@@ -46,6 +114,23 @@ class LinearModel:
         if pos >= size:
             return size - 1
         return pos
+
+    def predict_many(self, keys) -> np.ndarray:
+        """Float positions for a whole batch in one anchored numpy op.
+
+        Bit-identical to per-key :meth:`predict`: the anchored difference
+        is exact (see :func:`anchored_diff`) and the multiply-add applies
+        the same two IEEE-754 float64 operations in the same order.
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        return self.slope * anchored_diff(keys, self.anchor) + self.intercept
+
+    def predict_clamped_many(self, keys, size: int) -> np.ndarray:
+        """Predicted slots in ``[0, size - 1]`` for a whole batch;
+        element-wise identical to :meth:`predict_clamped`."""
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        return truncate_slots(self.predict_many(keys), size)
 
     @classmethod
     def fit_least_squares(cls, keys: Sequence[int], positions: Sequence[int]) -> "LinearModel":

@@ -25,9 +25,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
-from .linear import LinearModel
+import numpy as np
 
-__all__ = ["Segment", "optimal_segments", "shrinking_cone_segments"]
+from .linear import LinearModel, anchored_diff, truncate_slots
+
+__all__ = ["Segment", "SegmentArray", "optimal_segments",
+           "shrinking_cone_segments"]
 
 
 @dataclass
@@ -50,6 +53,65 @@ class Segment:
     def predict_relative(self, key: int) -> float:
         """Predicted offset inside this segment (0-based)."""
         return self.model.predict(key) - self.first_pos
+
+
+class SegmentArray:
+    """Struct-of-arrays form of a sorted run of anchored linear segments.
+
+    Holds the per-segment ``first_key``/``slope``/``intercept``/``anchor``
+    columns as numpy arrays so a whole ``lookup_many`` batch resolves its
+    segments (one ``np.searchsorted``) and predicted positions (one
+    anchored multiply-add) in two vectorized passes, bit-identical to
+    looping :meth:`LinearModel.predict` per key (DESIGN.md §15).
+
+    Used at batch time over segment descriptors the caller already paid
+    charged I/O to fetch — it is a compute cache, never a routing
+    shortcut, so the charged cost model is untouched.
+    """
+
+    __slots__ = ("first_keys", "slopes", "intercepts", "anchors")
+
+    def __init__(self, first_keys, slopes, intercepts, anchors=None):
+        self.first_keys = np.asarray(first_keys, dtype=np.uint64)
+        self.slopes = np.asarray(slopes, dtype=np.float64)
+        self.intercepts = np.asarray(intercepts, dtype=np.float64)
+        self.anchors = (self.first_keys if anchors is None
+                        else np.asarray(anchors, dtype=np.uint64))
+
+    def __len__(self) -> int:
+        return len(self.first_keys)
+
+    @classmethod
+    def from_segments(cls, segments: Sequence[Segment]) -> "SegmentArray":
+        return cls([s.first_key for s in segments],
+                   [s.model.slope for s in segments],
+                   [s.model.intercept for s in segments],
+                   [s.model.anchor for s in segments])
+
+    def resolve(self, keys) -> np.ndarray:
+        """Floor-segment index per key: the rightmost segment whose
+        ``first_key`` is <= the key, clamped to segment 0."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        idx = np.searchsorted(self.first_keys, keys, side="right")
+        idx = idx.astype(np.int64) - 1
+        return np.clip(idx, 0, None, out=idx)
+
+    def predict(self, keys, idx=None) -> np.ndarray:
+        """Predicted float positions for all keys in one vectorized pass;
+        ``idx`` (from :meth:`resolve`) maps each key to its segment."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        if idx is None:
+            idx = self.resolve(keys)
+        diff = anchored_diff(keys, self.anchors[idx])
+        return self.slopes[idx] * diff + self.intercepts[idx]
+
+    def predict_slots(self, keys, sizes, idx=None) -> np.ndarray:
+        """Truncated predicted slots clamped per key to ``[0, size - 1]``
+        where ``sizes`` aligns with ``keys``."""
+        slots = truncate_positions(self.predict(keys, idx))
+        sizes = np.asarray(sizes, dtype=np.int64)
+        np.clip(slots, 0, sizes - 1, out=slots)
+        return slots
 
 
 def _check_sorted_unique(keys: Sequence[int]) -> None:

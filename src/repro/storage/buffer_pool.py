@@ -59,6 +59,13 @@ class BufferPool:
         #: *dirty* frame is evicted, after the frame has left the pool —
         #: the pager uses it to flush exactly that frame to the device.
         self.on_evict = None
+        #: optional callback ``(file_name, block_no)`` invoked whenever a
+        #: frame leaves the pool for *any* reason (clean or dirty
+        #: eviction, invalidation, clear).  The pager uses it to drop the
+        #: frame's cached numpy key array (DESIGN.md §15) — that cache is
+        #: identity-validated, so this hook is memory hygiene, not a
+        #: correctness requirement.
+        self.on_drop = None
 
     def __len__(self) -> int:
         return len(self._blocks)
@@ -89,6 +96,8 @@ class BufferPool:
                 self.on_evict(key[0], key[1], data)
         else:
             self.clean_evictions += 1
+        if self.on_drop is not None:
+            self.on_drop(key[0], key[1])
 
     # -- dirty tracking ------------------------------------------------------
 
@@ -219,9 +228,11 @@ class BufferPool:
         the caller no longer wants the bytes on disk either.
         """
         key = (file_name, block_no)
-        self._blocks.pop(key, None)
+        present = self._blocks.pop(key, None) is not None
         self._dirty.discard(key)
         self._pinned.discard(key)
+        if present and self.on_drop is not None:
+            self.on_drop(key[0], key[1])
 
     def invalidate_file(self, file_name: str) -> None:
         """Drop every cached block of a file (e.g. a deleted PGM level)."""
@@ -230,11 +241,16 @@ class BufferPool:
             del self._blocks[key]
             self._dirty.discard(key)
             self._pinned.discard(key)
+            if self.on_drop is not None:
+                self.on_drop(key[0], key[1])
 
     def clear(self) -> None:
+        dropped = list(self._blocks) if self.on_drop is not None else ()
         self._blocks.clear()
         self._dirty.clear()
         self._pinned.clear()
+        for key in dropped:
+            self.on_drop(key[0], key[1])
 
     @property
     def hit_rate(self) -> float:
@@ -348,6 +364,8 @@ class ClockBufferPool(BufferPool):
             self._dirty.discard(key)
             self._pinned.discard(key)
             self._referenced.pop(key, None)
+            if self.on_drop is not None:
+                self.on_drop(key[0], key[1])
             if key in self._ring:
                 index = self._ring.index(key)
                 self._ring.pop(index)

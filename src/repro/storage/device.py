@@ -253,10 +253,20 @@ class BlockDevice:
         self.block_size = block_size
         self.profile = profile
         self.checksums = checksums
+        # The profile and block size are fixed for the device's lifetime,
+        # so the four per-access cost figures are constants — computed
+        # once here instead of once per charged block.
+        self._read_cost_seq = profile.read_cost_us(block_size, True)
+        self._read_cost_rand = profile.read_cost_us(block_size, False)
+        self._write_cost_seq = profile.write_cost_us(block_size, True)
+        self._write_cost_rand = profile.write_cost_us(block_size, False)
         self.stats = StorageStats()
         self.files: Dict[str, BlockFile] = {}
         self._phase = "default"
-        self._last_access: Optional[tuple] = None  # (file name, block no)
+        # Last-touched (file name, block no), kept as two scalars so the
+        # per-read sequentiality test allocates no tuples.
+        self._last_file: Optional[str] = None
+        self._last_block = -1
         self._zero_crc = block_crc(bytes(block_size))
         #: optional per-access hook ``(kind, file_name, block_no, phase,
         #: cost_us)`` with kind "r"/"w", fired for every *charged* access
@@ -373,21 +383,33 @@ class BlockDevice:
         file._check_range(block_no, 1)
         if file.memory_resident:
             return bytes(file.blocks[block_no])
-        sequential = self._last_access == (file.name, block_no - 1)
-        cost = self.profile.read_cost_us(self.block_size, sequential)
-        self.stats.reads += 1
-        if not sequential:
-            self.stats.read_positionings += 1
+        stats = self.stats
+        if self._last_file == file.name and self._last_block == block_no - 1:
+            cost = self._read_cost_seq
+        else:
+            cost = self._read_cost_rand
+            stats.read_positionings += 1
+        stats.reads += 1
         file.reads += 1
-        self.stats.elapsed_us += cost
+        stats.elapsed_us += cost
         phase = self._phase
-        self.stats.reads_by_phase[phase] = self.stats.reads_by_phase.get(phase, 0) + 1
-        self.stats.time_by_phase[phase] = self.stats.time_by_phase.get(phase, 0.0) + cost
-        self._last_access = (file.name, block_no)
+        stats.reads_by_phase[phase] = stats.reads_by_phase.get(phase, 0) + 1
+        stats.time_by_phase[phase] = stats.time_by_phase.get(phase, 0.0) + cost
+        self._last_file = file.name
+        self._last_block = block_no
         if self.on_access is not None:
             self.on_access("r", file.name, block_no, phase, cost)
-        self._maybe_fault_read(file, block_no)
-        return self._verified_payload(file, block_no)
+        if self.fault_model is not None:
+            self._maybe_fault_read(file, block_no)
+        # _verified_payload, inlined for the single-block hot path.
+        data = bytes(file.blocks[block_no])
+        if self.checksums and file.checksums[block_no] != block_crc(data):
+            stats.checksum_failures += 1
+            if self.on_fault is not None:
+                self.on_fault("checksum", file.name, block_no)
+            raise ChecksumError(file.name, block_no,
+                                "stored payload does not match envelope")
+        return data
 
     def read_blocks(self, file: BlockFile, block_nos: List[int]) -> List[bytes]:
         """Read several blocks, coalescing contiguous runs (paper Table 2).
@@ -419,35 +441,61 @@ class BlockDevice:
             return out
         phase = self._phase
         run_length = 0
+        stats = self.stats
+        name = file.name
+        blocks = file.blocks
+        checksums = file.checksums if self.checksums else None
+        fault_model = self.fault_model
+        on_access = self.on_access
+        read_phase = stats.reads_by_phase.get(phase, 0)
+        time_phase = stats.time_by_phase.get(phase, 0.0)
         for block_no in block_nos:
-            sequential = self._last_access == (file.name, block_no - 1)
-            if sequential:
+            if self._last_file == name and self._last_block == block_no - 1:
                 run_length += 1
+                cost = self._read_cost_seq
             else:
                 if run_length >= 2 and self.on_run is not None:
-                    self.on_run(file.name, run_length)
+                    self.on_run(name, run_length)
                 run_length = 1
-            cost = self.profile.read_cost_us(self.block_size, sequential)
-            self.stats.reads += 1
-            if not sequential:
-                self.stats.read_positionings += 1
+                cost = self._read_cost_rand
+                stats.read_positionings += 1
+            stats.reads += 1
             file.reads += 1
-            self.stats.elapsed_us += cost
-            self.stats.reads_by_phase[phase] = self.stats.reads_by_phase.get(phase, 0) + 1
-            self.stats.time_by_phase[phase] = self.stats.time_by_phase.get(phase, 0.0) + cost
-            self._last_access = (file.name, block_no)
-            if self.on_access is not None:
-                self.on_access("r", file.name, block_no, phase, cost)
+            stats.elapsed_us += cost
+            read_phase += 1
+            time_phase += cost
+            self._last_file = name
+            self._last_block = block_no
+            if on_access is not None:
+                on_access("r", name, block_no, phase, cost)
             if run_length == 2:
                 # A run became multi-block: count it once, plus its head.
-                self.stats.coalesced_runs += 1
-                self.stats.coalesced_blocks += 1
+                stats.coalesced_runs += 1
+                stats.coalesced_blocks += 1
             if run_length >= 2:
-                self.stats.coalesced_blocks += 1
-            self._maybe_fault_read(file, block_no)
-            out.append(self._verified_payload(file, block_no))
+                stats.coalesced_blocks += 1
+            if fault_model is not None:
+                # Flush deferred phase attribution first: an injected
+                # fault propagates out of the loop, and the blocks read
+                # so far were already charged.
+                stats.reads_by_phase[phase] = read_phase
+                stats.time_by_phase[phase] = time_phase
+                self._maybe_fault_read(file, block_no)
+            # _verified_payload, inlined for the span hot path.
+            data = bytes(blocks[block_no])
+            if checksums is not None and checksums[block_no] != block_crc(data):
+                stats.reads_by_phase[phase] = read_phase
+                stats.time_by_phase[phase] = time_phase
+                stats.checksum_failures += 1
+                if self.on_fault is not None:
+                    self.on_fault("checksum", name, block_no)
+                raise ChecksumError(name, block_no,
+                                    "stored payload does not match envelope")
+            out.append(data)
+        stats.reads_by_phase[phase] = read_phase
+        stats.time_by_phase[phase] = time_phase
         if run_length >= 2 and self.on_run is not None:
-            self.on_run(file.name, run_length)
+            self.on_run(name, run_length)
         return out
 
     def write_block(self, file: BlockFile, block_no: int, data: bytes) -> None:
@@ -458,7 +506,8 @@ class BlockDevice:
                 f"write of {len(data)} bytes does not match block size {self.block_size}"
             )
         if not file.memory_resident:
-            sequential = self._last_access == (file.name, block_no - 1)
+            sequential = (self._last_file == file.name
+                          and self._last_block == block_no - 1)
             cost = self.profile.write_cost_us(self.block_size, sequential)
             self.stats.writes += 1
             if not sequential:
@@ -468,7 +517,8 @@ class BlockDevice:
             phase = self._phase
             self.stats.writes_by_phase[phase] = self.stats.writes_by_phase.get(phase, 0) + 1
             self.stats.time_by_phase[phase] = self.stats.time_by_phase.get(phase, 0.0) + cost
-            self._last_access = (file.name, block_no)
+            self._last_file = file.name
+            self._last_block = block_no
             if self.on_access is not None:
                 self.on_access("w", file.name, block_no, phase, cost)
         file.blocks[block_no] = bytearray(data)
@@ -515,7 +565,8 @@ class BlockDevice:
         phase = self._phase
         run_length = 0
         for index, (block_no, data) in enumerate(writes):
-            sequential = self._last_access == (file.name, block_no - 1)
+            sequential = (self._last_file == file.name
+                          and self._last_block == block_no - 1)
             if sequential:
                 run_length += 1
             else:
@@ -530,7 +581,8 @@ class BlockDevice:
             self.stats.elapsed_us += cost
             self.stats.writes_by_phase[phase] = self.stats.writes_by_phase.get(phase, 0) + 1
             self.stats.time_by_phase[phase] = self.stats.time_by_phase.get(phase, 0.0) + cost
-            self._last_access = (file.name, block_no)
+            self._last_file = file.name
+            self._last_block = block_no
             if self.on_access is not None:
                 self.on_access("w", file.name, block_no, phase, cost)
             if run_length == 2:

@@ -37,6 +37,7 @@ evicted while the device copy awaits repair.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
@@ -124,8 +125,25 @@ class Pager:
         self._dirty_lsn: Dict[Tuple[str, int], int] = {}
         self.flushes = 0          # explicit/watermark flush calls that wrote
         self.flushed_blocks = 0   # dirty blocks written by those flushes
+        #: per-frame parsed key arrays (DESIGN.md §15): ``(file, block)``
+        #: -> ``(bytes_ref, count, offset, stride, np.ndarray)``.  Entries
+        #: are validated by *object identity* against the block bytes the
+        #: caller just read through the pager, so a write (which always
+        #: produces a new bytes object) can never be served a stale
+        #: array; the explicit invalidation below and the pool's
+        #: ``on_drop`` hook are memory hygiene on top of that guarantee.
+        self._key_cache: "OrderedDict[Tuple[str, int], tuple]" = OrderedDict()
+        self.key_cache_capacity = 1024
+        self.key_cache_hits = 0
+        self.key_cache_builds = 0
+        #: per-frame parsed metadata (same identity-validation contract as
+        #: ``_key_cache``): ``(file, block)`` -> ``(bytes_ref, value)``.
+        self._meta_cache: "OrderedDict[Tuple[str, int], tuple]" = OrderedDict()
+        self.meta_cache_capacity = 4096
         if write_back:
             buffer_pool.on_evict = self._flush_evicted_frame
+        if buffer_pool is not None:
+            buffer_pool.on_drop = self._drop_cached_keys
 
     @property
     def block_size(self) -> int:
@@ -178,12 +196,19 @@ class Pager:
                     self.tracer.io_retry(self.device.phase, backoff)
 
     def _device_read_block(self, file: BlockFile, block_no: int) -> bytes:
+        if self.device.fault_model is None:
+            # Transient faults only come from an injected fault model;
+            # without one the retry trampoline (and its per-read
+            # closure) is dead weight on the hot path.
+            return self.device.read_block(file, block_no)
         return self._retrying(lambda: self.device.read_block(file, block_no))
 
     def _device_read_blocks(self, file: BlockFile, block_nos: List[int]) -> List[bytes]:
         # A transient error mid-span reissues the whole vectorized read;
         # already-transferred blocks are re-charged, as a reissued DMA
         # request would be.
+        if self.device.fault_model is None:
+            return self.device.read_blocks(file, block_nos)
         return self._retrying(lambda: self.device.read_blocks(file, block_nos))
 
     # -- block-level API -----------------------------------------------------
@@ -205,6 +230,12 @@ class Pager:
             if name == file.name and no == block_no:
                 if self.tracer is not None:
                     self.tracer.reuse_hit()
+                if self._batch_depth:
+                    # "Pin every block touched until exit" includes blocks
+                    # served by the last-block cache: without the pin, the
+                    # block would be re-charged later in the batch once
+                    # another read evicts it from the one-entry cache.
+                    self._batch_cache[(file.name, block_no)] = data
                 return data
         if self.buffer_pool is not None:
             cached = self.buffer_pool.get(file.name, block_no)
@@ -232,6 +263,7 @@ class Pager:
         """
         if self.on_block_access is not None:
             self.on_block_access("w", file.name, block_no)
+        self._drop_cached_keys(file.name, block_no)
         if self.write_back and not file.memory_resident:
             self._buffer_write(file, block_no, data)
             return
@@ -293,6 +325,8 @@ class Pager:
         if self.on_block_access is not None:
             for block_no, _data in pairs:
                 self.on_block_access("w", file.name, block_no)
+        for block_no, _data in pairs:
+            self._drop_cached_keys(file.name, block_no)
         if self.write_back and not through and not file.memory_resident:
             for block_no, data in pairs:
                 self._buffer_write(file, block_no, data)
@@ -426,6 +460,7 @@ class Pager:
                     and self._last[1] == block_no):
                 self._last = None
             self._batch_cache.pop((fname, block_no), None)
+            self._drop_cached_keys(fname, block_no)
         self._dirty_lsn.clear()
         return len(dirty)
 
@@ -449,6 +484,13 @@ class Pager:
             self._batch_depth -= 1
             if self._batch_depth == 0:
                 self._batch_cache.clear()
+                # The last-block cache is a one-entry pin: inside a batch
+                # its final value depends on which probe happened to miss
+                # last, which the scalar and vectorized execution paths
+                # order differently.  Dropping it with the pin cache makes
+                # the post-batch charge state deterministic, so vectorized
+                # lookups stay charge-identical even when mutations follow.
+                self._last = None
 
     def read_span(self, file: BlockFile, block_nos: Iterable[int]) -> Dict[int, bytes]:
         """Read a set of blocks, coalescing cache misses into runs.
@@ -561,6 +603,62 @@ class Pager:
             remaining = remaining[take:]
             pos += take
 
+    # -- per-frame key-array cache ---------------------------------------------
+
+    def cached_keys(self, file: BlockFile, block_no: int, data,
+                    count: int, offset: int = 0, stride: int = 16):
+        """The frame's key column as a cached numpy uint64 array.
+
+        ``data`` must be the block bytes the caller just obtained through
+        this pager (so the charged I/O already happened); the cache only
+        replaces the *parse*.  A hit requires the stored bytes object to
+        be identical (``is``) to ``data`` with the same layout
+        parameters: any write path produces a new bytes object, so a
+        stale array is unreachable by construction — the eviction hooks
+        (write paths, :meth:`invalidate_file`, the buffer pool's
+        ``on_drop``) just bound memory.  Searched with
+        ``np.searchsorted`` by the vectorized ``lookup_many`` paths.
+        """
+        cache_key = (file.name, block_no)
+        entry = self._key_cache.get(cache_key)
+        if (entry is not None and entry[0] is data and entry[1] == count
+                and entry[2] == offset and entry[3] == stride):
+            self._key_cache.move_to_end(cache_key)
+            self.key_cache_hits += 1
+            return entry[4]
+        from ..core.serial import keys_view  # lazy: core imports storage
+        arr = keys_view(data, count, offset, stride)
+        self._key_cache[cache_key] = (data, count, offset, stride, arr)
+        self._key_cache.move_to_end(cache_key)
+        self.key_cache_builds += 1
+        while len(self._key_cache) > self.key_cache_capacity:
+            self._key_cache.popitem(last=False)
+        return arr
+
+    def cached_meta(self, file: BlockFile, block_no: int, data, build):
+        """A cached ``build(data)`` result for one frame.
+
+        Same contract as :meth:`cached_keys` — ``data`` must be block
+        bytes just obtained through this pager, and a hit requires the
+        stored bytes object to be *identical* to ``data``, so writes
+        (which always produce a new bytes object) can never yield a
+        stale value.  Used by the vectorized lookup paths to avoid
+        re-parsing immutable node headers on every batch.
+        """
+        cache_key = (file.name, block_no)
+        entry = self._meta_cache.get(cache_key)
+        if entry is not None and entry[0] is data:
+            return entry[1]
+        value = build(data)
+        self._meta_cache[cache_key] = (data, value)
+        while len(self._meta_cache) > self.meta_cache_capacity:
+            self._meta_cache.popitem(last=False)
+        return value
+
+    def _drop_cached_keys(self, file_name: str, block_no: int) -> None:
+        self._key_cache.pop((file_name, block_no), None)
+        self._meta_cache.pop((file_name, block_no), None)
+
     # -- cache hygiene ---------------------------------------------------------
 
     def invalidate_file(self, file_name: str) -> None:
@@ -570,6 +668,12 @@ class Pager:
         if self._batch_cache:
             for key in [k for k in self._batch_cache if k[0] == file_name]:
                 del self._batch_cache[key]
+        if self._key_cache:
+            for key in [k for k in self._key_cache if k[0] == file_name]:
+                del self._key_cache[key]
+        if self._meta_cache:
+            for key in [k for k in self._meta_cache if k[0] == file_name]:
+                del self._meta_cache[key]
         if self.buffer_pool is not None:
             self.buffer_pool.invalidate_file(file_name)
 

@@ -340,6 +340,35 @@ def test_default_call_never_enters_serving(monkeypatch):
     assert res.clients == 1 and res.per_client == {}
 
 
+def test_snapshot_reads_never_serve_stale_cached_frames():
+    """Regression for the zero-copy frame caches (DESIGN.md §15): under
+    concurrent serving, writers rewrite leaf frames between snapshot
+    reads, and the pager's parsed-key caches must drop those frames (via
+    the write path and buffer-pool eviction hooks) instead of serving a
+    pre-write parse.  A staleness bug surfaces here as a wrong payload —
+    either in the validated concurrent phase or in the final sweep,
+    which runs over the same warm caches the writers just invalidated."""
+    index, bulk, _wal = _loaded(profile=HDD, with_wal=True,
+                                buffer_blocks=64)
+    pager = index.pager
+    keys = [k for k, _p in bulk]
+    # Warm the parsed-frame caches with a batched sweep.
+    assert index.lookup_many(keys) == [k + 1 for k in keys]
+    assert pager.key_cache_builds > 0
+    for round_no in range(3):
+        ops = _mixed_ops(bulk, 200, insert_base=(round_no + 1) * 10**6,
+                         insert_frac=0.5, seed=round_no)
+        res = run_workload(index, ops, client_ops=split_ops(ops, 8),
+                           validate=True)
+        assert res.snapshot_reads > 0
+        # The sweep after each concurrent round runs over the same warm
+        # caches the round's writers just had to invalidate.
+        keys = sorted(set(keys) | {key for kind, key in ops
+                                   if kind == "insert"})
+        assert index.lookup_many(keys) == [k + 1 for k in keys]
+    assert pager.key_cache_hits > 0
+
+
 def test_single_session_matches_legacy_metrics():
     """One session, no WAL, no conflicts: the serving path must charge
     the device identically to the legacy runner — same elapsed time,

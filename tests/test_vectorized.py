@@ -1,0 +1,203 @@
+"""The vectorized lookup machinery (DESIGN.md §15).
+
+Three layers of guarantees, each tested here:
+
+* **Model arithmetic is bit-identical.**  ``LinearModel.predict_many``
+  must reproduce per-key ``predict`` exactly — including keys adjacent
+  to 2**64, where a naive float subtraction loses thousands of
+  positions — because the two paths must probe identical slots to
+  charge identical I/O.
+* **Zero-copy codecs agree with the materializing ones.**
+  ``keys_view``/``entry_at`` are strided views over raw block bytes;
+  ``np.searchsorted`` over a view must land exactly where bisection
+  over ``unpack_entries`` tuples lands, for both 16-byte leaf entries
+  and non-u64-aligned strides.
+* **Vectorization never changes the charged cost model.**  For every
+  registered index the same differential stream (mutations included,
+  so frame-cache invalidation is exercised) must leave the device's
+  ``StorageStats`` bit-identical between the scalar and vectorized
+  lookup paths.
+"""
+
+import bisect
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import index_names, make_index, scalar_lookups
+from repro.core.serial import (
+    ENTRY_SIZE,
+    _u64_struct,
+    entry_at,
+    keys_view,
+    pack_entries,
+    payload_at,
+    unpack_entries,
+)
+from repro.models import LinearModel, anchored_diff
+from repro.storage import HDD, BlockDevice, Pager
+
+from tests.util import (
+    MUTATION_KINDS,
+    READONLY_KINDS,
+    ReferenceModel,
+    items_of,
+    random_sorted_keys,
+    run_differential,
+)
+
+U64_MAX = 2**64 - 1
+
+# Keys clustered against both ends of the uint64 range, where float64
+# cancellation bites, plus the full range.
+edge_keys = st.one_of(
+    st.integers(0, U64_MAX),
+    st.integers(U64_MAX - 2**16, U64_MAX),
+    st.integers(0, 2**16),
+)
+# Realistic model coefficients: |slope| <= 1e6 positions/key over a
+# 2**64 key span stays finite in float64.
+slopes = st.floats(-1e6, 1e6, allow_nan=False)
+intercepts = st.floats(-1e9, 1e9, allow_nan=False)
+
+
+# ---------------------------------------------------------------------------
+# Batched model prediction == scalar model prediction, bit for bit
+# ---------------------------------------------------------------------------
+@settings(max_examples=200, deadline=None)
+@given(keys=st.lists(edge_keys, min_size=1, max_size=32),
+       anchor=edge_keys, slope=slopes, intercept=intercepts)
+def test_predict_many_matches_predict_bitwise(keys, anchor, slope, intercept):
+    model = LinearModel(slope=slope, intercept=intercept, anchor=anchor)
+    batched = model.predict_many(keys)
+    assert batched.dtype == np.float64
+    for key, got in zip(keys, batched.tolist()):
+        expected = model.predict(key)
+        # Bit-identity, not closeness: repr distinguishes every float64.
+        assert repr(got) == repr(expected), (key, anchor, slope, intercept)
+
+
+@settings(max_examples=200, deadline=None)
+@given(keys=st.lists(edge_keys, min_size=1, max_size=32),
+       anchor=edge_keys, slope=slopes, intercept=intercepts,
+       size=st.integers(1, 2**20))
+def test_predict_clamped_many_matches_scalar(keys, anchor, slope, intercept,
+                                             size):
+    model = LinearModel(slope=slope, intercept=intercept, anchor=anchor)
+    slots = model.predict_clamped_many(keys, size).tolist()
+    for key, got in zip(keys, slots):
+        assert got == model.predict_clamped(key, size)
+
+
+@settings(max_examples=200, deadline=None)
+@given(key=edge_keys, anchor=edge_keys)
+def test_anchored_diff_is_exact_integer_difference(key, anchor):
+    got = anchored_diff(np.array([key], dtype=np.uint64), anchor)[0]
+    assert repr(float(got)) == repr(float(key - anchor))
+
+
+# ---------------------------------------------------------------------------
+# Zero-copy key views == materialized tuples
+# ---------------------------------------------------------------------------
+sorted_entries = st.lists(
+    st.integers(0, U64_MAX), min_size=1, max_size=200, unique=True
+).map(lambda ks: [(k, (k + 1) & U64_MAX) for k in sorted(ks)])
+
+
+@settings(max_examples=200, deadline=None)
+@given(items=sorted_entries, probe=edge_keys)
+def test_keys_view_searchsorted_matches_unpacked_bisect(items, probe):
+    data = pack_entries(items)
+    view = keys_view(data, len(items))
+    assert view.base is not None  # a view over data, never a copy
+    unpacked = unpack_entries(data, len(items))
+    assert unpacked == items
+    ref_keys = [k for k, _p in unpacked]
+    assert view.tolist() == ref_keys
+    for side in ("left", "right"):
+        got = int(np.searchsorted(view, np.uint64(probe), side=side))
+        expected = (bisect.bisect_left if side == "left"
+                    else bisect.bisect_right)(ref_keys, probe)
+        assert got == expected
+    slot = max(0, int(np.searchsorted(view, np.uint64(probe), "right")) - 1)
+    assert entry_at(data, slot) == items[slot]
+    assert payload_at(data, slot) == items[slot][1]
+
+
+@settings(max_examples=100, deadline=None)
+@given(keys=st.lists(st.integers(0, U64_MAX), min_size=1, max_size=64,
+                     unique=True),
+       probe=edge_keys)
+def test_keys_view_handles_unaligned_strides(keys, probe):
+    """12-byte records (u64 key + u32 child) — the B+-tree inner layout —
+    go through the record-dtype branch of keys_view."""
+    import struct
+
+    keys = sorted(keys)
+    data = b"".join(struct.pack("<QI", k, i) for i, k in enumerate(keys))
+    view = keys_view(data, len(keys), stride=12)
+    assert view.tolist() == keys
+    got = int(np.searchsorted(view, np.uint64(probe), side="right"))
+    assert got == bisect.bisect_right(keys, probe)
+
+
+def test_keys_view_offset_and_empty():
+    items = [(10, 11), (20, 21), (30, 31)]
+    data = b"\x00" * 32 + pack_entries(items)
+    assert keys_view(data, 3, offset=32).tolist() == [10, 20, 30]
+    assert keys_view(b"", 0).size == 0
+
+
+# ---------------------------------------------------------------------------
+# pack_entries flattening and the bounded Struct cache
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("count", [0, 1, 3, 5, 7, 255, 256, 257])
+def test_pack_entries_round_trips_odd_batches(count):
+    items = [(2 * i + 1, (2 * i + 1) * 3) for i in range(count)]
+    data = pack_entries(items)
+    assert len(data) == count * ENTRY_SIZE
+    assert unpack_entries(data, count) == items
+
+
+def test_u64_struct_cache_is_bounded_and_hit():
+    info = _u64_struct.cache_info()
+    assert info.maxsize == 1024  # bounded: weird counts cannot grow it forever
+    assert _u64_struct(14) is _u64_struct(14)  # same object on repeat
+    assert _u64_struct.cache_info().hits > info.hits
+    assert _u64_struct(6).size == 48
+
+
+# ---------------------------------------------------------------------------
+# Charged I/O is bit-identical between scalar and vectorized paths
+# ---------------------------------------------------------------------------
+ALL_INDEXES = (index_names(include_plid=True)
+               + [n for n in index_names(include_hybrids=True) if "-" in n])
+
+
+def _charged_stream(name, vectorized, seed=29):
+    """One deterministic differential stream; returns the device's full
+    stats snapshot.  ``run_differential`` itself asserts every result
+    against the oracle, so content agreement rides along for free."""
+    device = BlockDevice(4096, HDD)
+    index = make_index(name, Pager(device))
+    keys = random_sorted_keys(300, seed=seed, key_space=10**9)
+    index.bulk_load(items_of(keys))
+    model = ReferenceModel(items_of(keys))
+    kinds = READONLY_KINDS if "-" in name else MUTATION_KINDS
+    if vectorized:
+        run_differential(index, model, num_ops=200, seed=seed, kinds=kinds)
+    else:
+        with scalar_lookups():
+            run_differential(index, model, num_ops=200, seed=seed,
+                             kinds=kinds)
+    return dataclasses.asdict(device.stats)
+
+
+@pytest.mark.parametrize("name", ALL_INDEXES)
+def test_charges_bit_identical_scalar_vs_vectorized(name):
+    scalar = _charged_stream(name, vectorized=False)
+    vector = _charged_stream(name, vectorized=True)
+    assert scalar == vector
