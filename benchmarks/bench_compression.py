@@ -1,0 +1,82 @@
+"""Perf smoke for compressed leaf pages (DESIGN.md Section 16).
+
+Runs the ``compression`` experiment (codec x index x device, uniform
+lookups against a shared-size buffer pool) and archives the rows as
+``BENCH_compression.json``.  Two layers of gating:
+
+* **Deterministic assertions** (always on): the simulated cost model
+  makes density and charged-I/O ratios machine-independent, so the
+  acceptance bars hold on any runner — with the FoR codec, pgm and
+  hybrid-pgm must pack at least 2x the entries per leaf block AND charge
+  at most 70% of the raw layout's read blocks per uniform lookup.
+* **Ratchet** (against the archived baseline, when present): each
+  (device, index, codec) cell's ratios may not regress past the margin
+  below, so a codec or pager change that silently erodes the win fails
+  CI even while still clearing the static bars.
+
+The bars are asserted for the FoR codec only: DeltaVarintCodec hovers
+right at 2.0x density on uniform 62-bit keys (LEB128 needs ~8 key bytes
+either way), which is exactly the bar and too close to gate on.
+"""
+
+import json
+
+from conftest import RESULTS_DIR, run_and_emit
+
+#: Indexes the acceptance bars apply to (with the "for" codec).
+GATED_INDEXES = ("pgm", "hybrid-pgm")
+
+#: Minimum entries-per-leaf ratio vs the raw layout.
+MIN_ENTRIES_RATIO = 2.0
+
+#: Maximum charged-read-blocks-per-lookup ratio vs the raw layout.
+MAX_BLOCKS_RATIO = 0.70
+
+#: A fresh ratio may not regress past the archived one by this margin
+#: (entries: fraction of baseline it must keep; blocks: growth allowed).
+RATCHET_MARGIN = 0.15
+
+
+def test_compression(benchmark):
+    out_path = RESULTS_DIR / "BENCH_compression.json"
+    baseline_rows = {}
+    if out_path.exists():
+        archived = json.loads(out_path.read_text())
+        baseline_rows = {(r["device"], r["index"], r["codec"]): r
+                         for r in archived.get("rows", [])}
+
+    result = run_and_emit(benchmark, "compression")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out_path.write_text(
+        json.dumps({"experiment": result.experiment_id, "rows": result.rows},
+                   indent=2))
+
+    gated = [row for row in result.rows
+             if row["codec"] == "for" and row["index"] in GATED_INDEXES]
+    assert len(gated) >= 2 * len(GATED_INDEXES), (
+        "compression experiment did not produce the gated cells")
+    for row in gated:
+        cell = f"{row['device']}/{row['index']}/{row['codec']}"
+        assert row["entries_ratio"] >= MIN_ENTRIES_RATIO, (
+            f"{cell}: entries per leaf only {row['entries_ratio']}x raw, "
+            f"need >= {MIN_ENTRIES_RATIO}x")
+        assert row["blocks_ratio"] <= MAX_BLOCKS_RATIO, (
+            f"{cell}: charged read blocks per lookup at "
+            f"{row['blocks_ratio']}x raw, need <= {MAX_BLOCKS_RATIO}x")
+
+    for row in result.rows:
+        if row["codec"] == "raw":
+            continue
+        archived = baseline_rows.get(
+            (row["device"], row["index"], row["codec"]))
+        if not archived:
+            continue
+        cell = f"{row['device']}/{row['index']}/{row['codec']}"
+        entries_floor = (1.0 - RATCHET_MARGIN) * archived["entries_ratio"]
+        assert row["entries_ratio"] >= entries_floor, (
+            f"{cell}: entries ratio {row['entries_ratio']} regressed below "
+            f"{entries_floor:.2f} (archived {archived['entries_ratio']})")
+        blocks_ceiling = (1.0 + RATCHET_MARGIN) * archived["blocks_ratio"]
+        assert row["blocks_ratio"] <= blocks_ceiling, (
+            f"{cell}: blocks ratio {row['blocks_ratio']} regressed above "
+            f"{blocks_ceiling:.2f} (archived {archived['blocks_ratio']})")

@@ -23,7 +23,7 @@ from ..workloads import WORKLOADS, build_workload, bulk_load_timed
 
 __all__ = ["Scale", "default_scale", "IndexSetup", "fresh_index",
            "fresh_sharded_index", "PROFILES", "tracing", "set_active_tracer",
-           "set_write_back"]
+           "set_codec", "set_write_back"]
 
 PROFILES = {"hdd": HDD, "ssd": SSD}
 
@@ -49,6 +49,26 @@ def set_write_back(blocks: int) -> None:
     if blocks < 0:
         raise ValueError(f"blocks must be non-negative, got {blocks}")
     _WRITE_BACK_BLOCKS = blocks
+
+
+#: When not "raw", :func:`fresh_index` builds every index with this leaf
+#: codec (DESIGN.md Section 16) unless the cell pins its own — the
+#: mechanism behind ``python -m repro.bench run X --codec for``.  Indexes
+#: whose layout cannot compress (fixed-stride model addressing) validate
+#: the name and keep their raw layout.
+_ACTIVE_CODEC = "raw"
+
+
+def set_codec(codec: str) -> None:
+    """Force a leaf codec on every index fresh_index builds.
+
+    Pass "raw" to clear.  Cells that pass an explicit ``codec`` in their
+    ``index_params`` keep it.
+    """
+    from ..core import get_codec
+
+    global _ACTIVE_CODEC
+    _ACTIVE_CODEC = get_codec(codec).name
 
 
 def set_active_tracer(tracer) -> None:
@@ -178,7 +198,10 @@ def fresh_index(index_name: str, dataset: str, workload: str, scale: Scale,
             if buffer_blocks > 0 else None)
     pager = Pager(device, buffer_pool=pool, write_back=write_back,
                   flush_watermark=flush_watermark)
-    index = make_index(index_name, pager, **(index_params or {}))
+    params = dict(index_params or {})
+    if _ACTIVE_CODEC != "raw":
+        params.setdefault("codec", _ACTIVE_CODEC)
+    index = make_index(index_name, pager, **params)
     if _ACTIVE_TRACER is not None:
         # Attach before the bulk load so its I/O lands in the trace's
         # background record and the totals reconcile with device stats.

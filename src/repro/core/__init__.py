@@ -10,6 +10,8 @@
 
 from .alex import AlexIndex
 from .btree import BPlusTree, BTreeIndex
+from .codecs import (CODEC_NAMES, DeltaVarintCodec, FoRCodec, LeafCodec,
+                     RawCodec, get_codec)
 from .fiting import FitingTreeIndex
 from .hybrid import HYBRID_INNER_KINDS, HybridIndex
 from .interface import DiskIndex, KeyPayload
@@ -25,7 +27,13 @@ __all__ = [
     "AlexIndex",
     "BPlusTree",
     "BTreeIndex",
+    "CODEC_NAMES",
+    "DeltaVarintCodec",
     "DiskIndex",
+    "FoRCodec",
+    "LeafCodec",
+    "RawCodec",
+    "get_codec",
     "FitingTreeIndex",
     "HYBRID_INNER_KINDS",
     "HybridIndex",

@@ -38,6 +38,7 @@ import numpy as np
 
 from ..models import LinearModel, anchored_diff, truncate_positions
 from ..storage import Pager
+from .codecs import get_codec
 from .interface import DiskIndex, KeyPayload, TOMBSTONE
 from .serial import ENTRY_SIZE, NULL_BLOCK, pack_entries, unpack_entries
 from .vectorize import BlockMirror, enabled as _vectorized
@@ -260,8 +261,14 @@ class AlexIndex(DiskIndex):
 
     def __init__(self, pager: Pager, layout: int = 2, max_data_node_entries: int = 4096,
                  init_density: float = 0.7, full_density: float = 0.8,
-                 max_fanout: int = 4096, file_prefix: str = "alex") -> None:
+                 max_fanout: int = 4096, file_prefix: str = "alex",
+                 codec: str = "raw") -> None:
         super().__init__(pager)
+        # ALEX's gapped arrays address slots in place through the node
+        # model (fixed 16-byte stride, exponential search around the
+        # prediction), which a variable-width codec page cannot provide;
+        # the codec name is validated, then the raw layout is kept.
+        get_codec(codec)
         if layout not in (1, 2):
             raise ValueError(f"layout must be 1 or 2, got {layout}")
         if not 0.0 < init_density < full_density <= 1.0:

@@ -30,6 +30,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..storage import BlockFile, Pager
+from .codecs import get_codec
 from .interface import DiskIndex, KeyPayload
 from .serial import ENTRY_SIZE, NULL_BLOCK, pack_entries, unpack_u64s
 from .vectorize import enabled as _vectorized
@@ -40,6 +41,7 @@ _LEAF_HEADER = struct.Struct("<HHIII")  # count, pad, next, prev, pad
 _INNER_HEADER = struct.Struct("<HB13x")  # count, child_is_leaf
 _INNER_ENTRY = struct.Struct("<QI")  # separator key, child block
 _CHILD_PTR = struct.Struct("<I")
+_PAYLOAD = struct.Struct("<Q")
 HEADER_SIZE = 16
 INNER_ENTRY_SIZE = _INNER_ENTRY.size  # 12
 
@@ -92,11 +94,19 @@ class BPlusTree:
         data_size: int = 8,
         leaf_fill: float = 0.8,
         inner_fill: float = 0.8,
+        codec: str = "raw",
     ) -> None:
         if data_size <= 0:
             raise ValueError(f"data size must be positive, got {data_size}")
         if not 0.1 <= leaf_fill <= 1.0 or not 0.1 <= inner_fill <= 1.0:
             raise ValueError("fill factors must be in [0.1, 1.0]")
+        self.codec = get_codec(codec)
+        if not self.codec.is_raw and data_size != 8:
+            # The codecs compress (u64 key, u64 payload) pairs; records
+            # with wider data (FITing segment descriptors) stay raw.
+            raise ValueError(
+                f"codec {self.codec.name!r} requires 8-byte record data, "
+                f"got {data_size}")
         self.pager = pager
         self.inner_file = inner_file
         self.leaf_file = leaf_file
@@ -120,6 +130,15 @@ class BPlusTree:
     def _parse_leaf(self, data: bytes) -> _Leaf:
         count, _pad, next_, prev, _pad2 = _LEAF_HEADER.unpack_from(data, 0)
         rs = self.record_size
+        if not self.codec.is_raw:
+            # Compressed leaf: the codec page after the header is
+            # self-framing (its own header validates the codec id).
+            if not count:
+                return _Leaf(0, next_, prev, [], [])
+            entries = self.codec.decode(data, offset=HEADER_SIZE)
+            keys = [key for key, _ in entries]
+            datas = [_PAYLOAD.pack(payload) for _, payload in entries]
+            return _Leaf(count, next_, prev, keys, datas)
         if rs == ENTRY_SIZE and count:
             # 16-byte records are exactly the shared u64-pair layout: one
             # flattened unpack for the keys, plain slices for the datas.
@@ -137,8 +156,31 @@ class BPlusTree:
             off += rs
         return _Leaf(count, next_, prev, keys, datas)
 
+    def _leaf_entries(self, leaf: _Leaf) -> List[Tuple[int, int]]:
+        """Leaf records as (key, u64 payload) pairs for the codec."""
+        return [(key, _PAYLOAD.unpack(data)[0])
+                for key, data in zip(leaf.keys, leaf.datas)]
+
+    def _leaf_fits(self, leaf: _Leaf) -> bool:
+        """Post-insert capacity check: entry count for the raw layout,
+        encoded byte size for a compressed codec (data-dependent)."""
+        if self.codec.is_raw:
+            return leaf.count <= self.leaf_capacity
+        if leaf.count > self.codec.max_entries(self.pager.block_size):
+            return False
+        size = self.codec.encoded_size(self._leaf_entries(leaf))
+        return size <= self.pager.block_size - HEADER_SIZE
+
     def _serialize_leaf(self, leaf: _Leaf) -> bytes:
         out = bytearray(self.pager.block_size)
+        if not self.codec.is_raw:
+            _LEAF_HEADER.pack_into(out, 0, leaf.count, self.codec.codec_id,
+                                   leaf.next, leaf.prev, 0)
+            page = self.codec.encode(self._leaf_entries(leaf))
+            if len(page) > self.pager.block_size - HEADER_SIZE:
+                raise ValueError("compressed leaf overflows its block")
+            out[HEADER_SIZE : HEADER_SIZE + len(page)] = page
+            return bytes(out)
         _LEAF_HEADER.pack_into(out, 0, leaf.count, 0, leaf.next, leaf.prev, 0)
         rs = self.record_size
         if rs == ENTRY_SIZE and leaf.count:
@@ -199,12 +241,28 @@ class BPlusTree:
             self.root_is_leaf = True
             self.num_levels = 1
             return
-        per_leaf = max(1, int(self.leaf_capacity * self.leaf_fill))
-        num_leaves = (len(records) + per_leaf - 1) // per_leaf
+        if self.codec.is_raw:
+            per_leaf = max(1, int(self.leaf_capacity * self.leaf_fill))
+            num_leaves = (len(records) + per_leaf - 1) // per_leaf
+            chunks = [records[i * per_leaf : (i + 1) * per_leaf]
+                      for i in range(num_leaves)]
+        else:
+            # Greedy byte-budget packing; leaf_fill scales the budget the
+            # way it scales the raw layout's entry count, leaving split
+            # headroom for later inserts.
+            budget = max(64, int(
+                (self.pager.block_size - HEADER_SIZE) * self.leaf_fill))
+            entries = [(key, _PAYLOAD.unpack(data)[0]) for key, data in records]
+            chunks = []
+            pos = 0
+            while pos < len(entries):
+                take = self.codec.pack_greedy(entries, pos, budget)
+                chunks.append(records[pos : pos + take])
+                pos += take
+        num_leaves = len(chunks)
         first = self.leaf_file.allocate(num_leaves)
         level: List[Tuple[int, int]] = []  # (min key, child block)
-        for i in range(num_leaves):
-            chunk = records[i * per_leaf : (i + 1) * per_leaf]
+        for i, chunk in enumerate(chunks):
             next_ = first + i + 1 if i + 1 < num_leaves else NULL_BLOCK
             prev = first + i - 1 if i > 0 else NULL_BLOCK
             leaf = _Leaf(len(chunk), next_, prev,
@@ -354,6 +412,7 @@ class BPlusTree:
             blocks = self.pager.read_span(self.leaf_file, leaf_of.values())
             if _vectorized():
                 rs = self.record_size
+                compressed = not self.codec.is_raw
                 for block, group in self._group_by_leaf(unique, leaf_of).items():
                     raw = blocks[block]
                     count = _LEAF_HEADER.unpack_from(raw, 0)[0]
@@ -361,18 +420,26 @@ class BPlusTree:
                         for key in group:
                             out[key] = None
                         continue
-                    leaf_keys = self.pager.cached_keys(
-                        self.leaf_file, block, raw, count, HEADER_SIZE, rs)
+                    payloads = None
+                    if compressed:
+                        leaf_keys, payloads = self.pager.cached_decode(
+                            self.leaf_file, block, raw, self.codec,
+                            offset=HEADER_SIZE)
+                    else:
+                        leaf_keys = self.pager.cached_keys(
+                            self.leaf_file, block, raw, count, HEADER_SIZE, rs)
                     karr = np.array(group, dtype=np.uint64)
                     slots = np.searchsorted(leaf_keys, karr, side="right")
                     slots = np.maximum(slots.astype(np.int64) - 1, 0)
                     hits = leaf_keys[slots] == karr
                     for key, slot, hit in zip(group, slots.tolist(), hits.tolist()):
-                        if hit:
+                        if not hit:
+                            out[key] = None
+                        elif compressed:
+                            out[key] = _PAYLOAD.pack(int(payloads[slot]))
+                        else:
                             off = HEADER_SIZE + slot * rs
                             out[key] = raw[off + 8 : off + rs]
-                        else:
-                            out[key] = None
                 return out
             parsed: Dict[int, _Leaf] = {}
             for key in unique:
@@ -440,6 +507,7 @@ class BPlusTree:
         group's leading keys — so the charged I/O sequence is unchanged.
         """
         rs = self.record_size
+        compressed = not self.codec.is_raw
         raw_of: Dict[int, bytes] = dict(blocks)
 
         def raw_at(block: int) -> bytes:
@@ -448,6 +516,17 @@ class BPlusTree:
                 raw = raw_of[block] = self.pager.read_block(self.leaf_file, block)
             return raw
 
+        def columns(block: int, raw: bytes, count: int):
+            """(keys, payload-bytes-at-slot) for either leaf layout."""
+            if compressed:
+                leaf_keys, payloads = self.pager.cached_decode(
+                    self.leaf_file, block, raw, self.codec, offset=HEADER_SIZE)
+                return leaf_keys, lambda slot: _PAYLOAD.pack(int(payloads[slot]))
+            leaf_keys = self.pager.cached_keys(
+                self.leaf_file, block, raw, count, HEADER_SIZE, rs)
+            return leaf_keys, lambda slot: raw[HEADER_SIZE + slot * rs + 8
+                                               : HEADER_SIZE + (slot + 1) * rs]
+
         for block, group in self._group_by_leaf(unique, leaf_of).items():
             raw = raw_at(block)
             count, _pad, _next, prev, _pad2 = _LEAF_HEADER.unpack_from(raw, 0)
@@ -455,16 +534,14 @@ class BPlusTree:
                 for key in group:
                     out[key] = None
                 continue
-            leaf_keys = self.pager.cached_keys(
-                self.leaf_file, block, raw, count, HEADER_SIZE, rs)
+            leaf_keys, data_at = columns(block, raw, count)
             karr = np.array(group, dtype=np.uint64)
             slots = np.searchsorted(leaf_keys, karr, side="right")
             slots = np.maximum(slots.astype(np.int64) - 1, 0)
             before = leaf_keys[slots] > karr
             for key, slot, miss in zip(group, slots.tolist(), before.tolist()):
                 if not miss:
-                    off = HEADER_SIZE + slot * rs
-                    out[key] = (int(leaf_keys[slot]), raw[off + 8 : off + rs])
+                    out[key] = (int(leaf_keys[slot]), data_at(slot))
                     continue
                 if prev == NULL_BLOCK:
                     out[key] = None
@@ -474,10 +551,8 @@ class BPlusTree:
                 if pcount == 0:
                     out[key] = None
                     continue
-                pkeys = self.pager.cached_keys(
-                    self.leaf_file, prev, praw, pcount, HEADER_SIZE, rs)
-                poff = HEADER_SIZE + (pcount - 1) * rs
-                out[key] = (int(pkeys[pcount - 1]), praw[poff + 8 : poff + rs])
+                pkeys, pdata_at = columns(prev, praw, pcount)
+                out[key] = (int(pkeys[pcount - 1]), pdata_at(pcount - 1))
 
     def floor_record(self, key: int) -> Optional[Tuple[int, bytes]]:
         """Rightmost record with key <= ``key`` (FITing segment routing)."""
@@ -520,19 +595,32 @@ class BPlusTree:
     # -- updates ---------------------------------------------------------------------
 
     def update(self, key: int, data: bytes) -> bool:
-        """Overwrite the data of an existing record; False if absent."""
-        leaf_block, _ = self._descend(key)
+        """Overwrite the data of an existing record; False if absent.
+
+        Under a compressed codec the rewritten payload can widen the
+        page (a far-from-key payload inflates the FoR residual column),
+        so an overflow splits the leaf like an insert would.
+        """
+        leaf_block, path = self._descend(key)
         leaf = self._read_leaf(leaf_block)
         slot = self._route(leaf.keys, key)
         if not leaf.count or leaf.keys[slot] != key:
             return False
         leaf.datas[slot] = data
-        self._write_leaf(leaf_block, leaf)
+        if self._leaf_fits(leaf):
+            self._write_leaf(leaf_block, leaf)
+        else:
+            self._split_leaf(leaf_block, leaf, path)
         return True
 
     def delete(self, key: int) -> bool:
-        """Remove a record without rebalancing (lazy deletion)."""
-        leaf_block, _ = self._descend(key)
+        """Remove a record without rebalancing (lazy deletion).
+
+        Even a delete can overflow a compressed leaf: dropping a middle
+        key merges two deltas into one that may need a wider bit width
+        for the whole column, so the fit check runs here too.
+        """
+        leaf_block, path = self._descend(key)
         leaf = self._read_leaf(leaf_block)
         slot = self._route(leaf.keys, key)
         if not leaf.count or leaf.keys[slot] != key:
@@ -540,8 +628,11 @@ class BPlusTree:
         del leaf.keys[slot]
         del leaf.datas[slot]
         leaf.count -= 1
-        self._write_leaf(leaf_block, leaf)
         self.num_records -= 1
+        if leaf.count == 0 or self._leaf_fits(leaf):
+            self._write_leaf(leaf_block, leaf)
+        else:
+            self._split_leaf(leaf_block, leaf, path)
         return True
 
     def insert(self, key: int, data: bytes) -> None:
@@ -557,7 +648,7 @@ class BPlusTree:
         leaf.datas.insert(slot, data)
         leaf.count += 1
         self.num_records += 1
-        if leaf.count <= self.leaf_capacity:
+        if self._leaf_fits(leaf):
             self._write_leaf(leaf_block, leaf)
             return
         self._split_leaf(leaf_block, leaf, path)
@@ -574,6 +665,9 @@ class BPlusTree:
         return lo
 
     def _split_leaf(self, block: int, leaf: _Leaf, path: List[Tuple[int, int]]) -> None:
+        if not self.codec.is_raw:
+            self._split_leaf_compressed(block, leaf)
+            return
         mid = leaf.count // 2
         new_block = self.leaf_file.allocate(1)
         right = _Leaf(leaf.count - mid, leaf.next, block,
@@ -586,6 +680,45 @@ class BPlusTree:
             neighbor.prev = new_block
             self._write_leaf(right.next, neighbor)
         self._insert_separator(path, right.keys[0], new_block, child_is_leaf=True)
+
+    def _split_leaf_compressed(self, block: int, leaf: _Leaf) -> None:
+        """Multi-way split of an overflowing compressed leaf.
+
+        A compressed page's size is data-dependent: one mutated payload
+        can widen the whole FoR payload column, so a midpoint split is
+        not guaranteed to produce two fitting halves.  Instead the leaf's
+        records are greedily repacked into as many pieces as the byte
+        budget requires; each new piece's separator is inserted with a
+        *fresh* descent so earlier separator inserts (which may have
+        split the parent) cannot stale the path.
+        """
+        budget = max(64, int(
+            (self.pager.block_size - HEADER_SIZE) * self.leaf_fill))
+        pairs = self._leaf_entries(leaf)
+        pieces: List[Tuple[List[int], List[bytes]]] = []
+        pos = 0
+        while pos < leaf.count:
+            take = self.codec.pack_greedy(pairs, pos, budget)
+            pieces.append((leaf.keys[pos : pos + take],
+                           leaf.datas[pos : pos + take]))
+            pos += take
+        piece_blocks = [block] + [self.leaf_file.allocate(1)
+                                  for _ in pieces[1:]]
+        old_next, old_prev = leaf.next, leaf.prev
+        for i, (keys, datas) in enumerate(pieces):
+            next_ = piece_blocks[i + 1] if i + 1 < len(pieces) else old_next
+            prev = piece_blocks[i - 1] if i > 0 else old_prev
+            self._write_leaf(piece_blocks[i],
+                             _Leaf(len(keys), next_, prev, keys, datas))
+        if old_next != NULL_BLOCK:
+            neighbor = self._read_leaf(old_next)
+            neighbor.prev = piece_blocks[-1]
+            self._write_leaf(old_next, neighbor)
+        for i in range(1, len(pieces)):
+            sep_key = pieces[i][0][0]
+            _, fresh_path = self._descend(sep_key)
+            self._insert_separator(fresh_path, sep_key, piece_blocks[i],
+                                   child_is_leaf=True)
 
     def _insert_separator(self, path: List[Tuple[int, int]], sep_key: int,
                           new_child: int, child_is_leaf: bool) -> None:
@@ -626,14 +759,15 @@ class BTreeIndex(DiskIndex):
     name = "btree"
 
     def __init__(self, pager: Pager, leaf_fill: float = 0.8, inner_fill: float = 0.8,
-                 file_prefix: str = "btree") -> None:
+                 file_prefix: str = "btree", codec: str = "raw") -> None:
         super().__init__(pager)
         self._file_prefix = file_prefix
         device = pager.device
         self._inner_file = device.get_or_create_file(f"{file_prefix}.inner")
         self._leaf_file = device.get_or_create_file(f"{file_prefix}.leaf")
         self.tree = BPlusTree(pager, self._inner_file, self._leaf_file,
-                              data_size=8, leaf_fill=leaf_fill, inner_fill=inner_fill)
+                              data_size=8, leaf_fill=leaf_fill, inner_fill=inner_fill,
+                              codec=codec)
 
     def bulk_load(self, items: Sequence[KeyPayload]) -> None:
         with self.pager.phase("bulkload"):
@@ -720,7 +854,11 @@ class BTreeIndex(DiskIndex):
             while block != NULL_BLOCK:
                 leaf = tree._read_leaf(block)
                 assert leaf.prev == previous_block, "broken prev link"
-                assert leaf.count <= tree.leaf_capacity, "overfull leaf"
+                if tree.codec.is_raw:
+                    assert leaf.count <= tree.leaf_capacity, "overfull leaf"
+                else:
+                    assert tree._leaf_fits(leaf) or leaf.count == 0, (
+                        "compressed leaf overflows its block")
                 for key in leaf.keys:
                     assert key > previous_key, "leaf keys out of order"
                     previous_key = key
@@ -732,8 +870,11 @@ class BTreeIndex(DiskIndex):
             return count
 
     def init_params(self) -> dict:
-        return {"leaf_fill": self.tree.leaf_fill, "inner_fill": self.tree.inner_fill,
-                "file_prefix": self._file_prefix}
+        params = {"leaf_fill": self.tree.leaf_fill, "inner_fill": self.tree.inner_fill,
+                  "file_prefix": self._file_prefix}
+        if not self.tree.codec.is_raw:
+            params["codec"] = self.tree.codec.name
+        return params
 
     def to_meta(self) -> dict:
         return {"root_block": self.tree.root_block,

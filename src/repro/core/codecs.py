@@ -1,0 +1,587 @@
+"""Pluggable leaf-page codecs: raw, delta+varint, frame-of-reference.
+
+PRs 3-8 cut positionings, write amplification and interpreter time, but
+every index still paid the same blocks-per-op floor: a leaf stores fixed
+16-byte ``(key, payload)`` slots, so each fetched block yields exactly
+``block_size // 16`` entries.  The SIGMOD 2024 follow-up ("Making
+In-Memory Learned Indexes Efficient on Disk") shows compression is the
+biggest remaining lever for disk-resident learned indexes; this module
+is that lever (DESIGN.md Section 16).
+
+Three codecs, selected per index via the ``codec`` init parameter:
+
+* :class:`RawCodec` (``"raw"``, id 0) — the pre-existing headerless
+  16-byte-slot layout, byte-identical to PRs 1-8 so its charged
+  ``StorageStats`` are bit-identical by construction (the indexes branch
+  straight into their legacy code path when ``codec.is_raw``).
+* :class:`DeltaVarintCodec` (``"delta"``, id 1) — keys as LEB128
+  varint-coded deltas over the sorted order, payloads as a split column
+  of zigzag-varint residuals against their own key (the paper's datasets
+  use ``payload = key + 1``, which encodes to one byte).
+* :class:`FoRCodec` (``"for"``, id 2) — frame-of-reference: per-page
+  fixed bit widths for key deltas and zigzag payload residuals, packed
+  with numpy (:func:`~.vectorize.pack_uint_bits`), so the vectorized
+  decode is one ``np.unpackbits``/``np.cumsum`` and the decoded key
+  column feeds ``np.searchsorted`` exactly like a ``keys_view``.
+
+Compressed pages are self-framing.  Every page opens with an 8-byte
+header ``<BBHI`` = (codec id, page kind, entry count, payload column
+offset), so WAL redo, checksum repair and ``save_index`` round-trip the
+bytes without out-of-band layout knowledge, and a mismatched codec id is
+detected at decode time.  Two page kinds exist: ``KIND_ENTRIES`` pages
+carry (key, payload) pairs (index leaves); ``KIND_KEYS`` pages carry a
+bare sorted key column (the :class:`~repro.models.zonemap.FenceZonemap`
+fence pages, ``payload_off == 0``).
+
+Capacity under compression is data-dependent: callers size pages with
+:meth:`LeafCodec.pack_greedy` (how many of these entries fit a budget)
+and :meth:`LeafCodec.encoded_size` (would this page still fit) instead
+of the raw layout's ``entries_per_block`` constant.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .serial import ENTRY_SIZE, pack_entries, unpack_entries
+from .vectorize import pack_uint_bits, unpack_uint_bits
+
+__all__ = [
+    "CODEC_NAMES",
+    "DeltaVarintCodec",
+    "FoRCodec",
+    "KIND_ENTRIES",
+    "KIND_KEYS",
+    "LeafCodec",
+    "PAGE_HEADER_SIZE",
+    "RawCodec",
+    "codec_id_of",
+    "get_codec",
+]
+
+_PAGE_HEADER = struct.Struct("<BBHI")  # codec id, kind, count, payload offset
+PAGE_HEADER_SIZE = _PAGE_HEADER.size  # 8
+KIND_ENTRIES = 0
+KIND_KEYS = 1
+
+#: A page's entry count is a u16 in the header.
+_MAX_PAGE_COUNT = 0xFFFF
+
+_U64_MASK = (1 << 64) - 1
+_U64 = struct.Struct("<Q")
+
+
+def _zigzag(key: int, payload: int) -> int:
+    """Zigzag-encoded 64-bit residual ``payload - key`` (mod 2^64)."""
+    diff = (payload - key) & _U64_MASK
+    signed = diff - (1 << 64) if diff >= (1 << 63) else diff
+    return ((signed << 1) ^ (signed >> 63)) & _U64_MASK
+
+
+def _unzigzag(key: int, z: int) -> int:
+    signed = (z >> 1) ^ -(z & 1)
+    return (key + signed) & _U64_MASK
+
+
+_Z_ONE = np.uint64(1)
+_Z_63 = np.uint64(63)
+_Z_MASK = np.uint64(_U64_MASK)
+
+
+def _zigzag_arr(keys: np.ndarray, payloads: np.ndarray) -> np.ndarray:
+    diff = payloads - keys  # uint64 arithmetic wraps mod 2^64
+    sign = np.where((diff >> _Z_63).astype(bool), _Z_MASK, np.uint64(0))
+    return (diff << _Z_ONE) ^ sign
+
+
+def _unzigzag_arr(keys: np.ndarray, z: np.ndarray) -> np.ndarray:
+    sign = np.where((z & _Z_ONE).astype(bool), _Z_MASK, np.uint64(0))
+    return keys + ((z >> _Z_ONE) ^ sign)
+
+
+def _varint_len(value: int) -> int:
+    return max(1, (value.bit_length() + 6) // 7)
+
+
+def _varint_append(out: bytearray, value: int) -> None:
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _varint_read(data, pos: int) -> Tuple[int, int]:
+    value = 0
+    shift = 0
+    while True:
+        byte = data[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+
+
+class LeafCodec:
+    """Shared interface of the leaf-page codecs.
+
+    ``encode``/``decode``/``decode_arrays`` handle ``KIND_ENTRIES``
+    pages; ``encode_keys``/``decode_keys`` handle ``KIND_KEYS`` fence
+    pages.  ``decode`` is the scalar (tuple-materializing) path,
+    ``decode_arrays``/``decode_keys`` the vectorized one — both read the
+    exact same bytes, so which one runs never changes charged I/O.
+    """
+
+    name: str = ""
+    codec_id: int = -1
+    is_raw: bool = False
+
+    # -- entries pages ------------------------------------------------------
+
+    def encode(self, items: Sequence[Tuple[int, int]]) -> bytes:
+        raise NotImplementedError
+
+    def decode(self, data, offset: int = 0, count: int = -1) -> List[Tuple[int, int]]:
+        raise NotImplementedError
+
+    def decode_arrays(self, data, offset: int = 0,
+                      count: int = -1) -> Tuple[np.ndarray, np.ndarray]:
+        raise NotImplementedError
+
+    def encoded_size(self, items: Sequence[Tuple[int, int]]) -> int:
+        """Bytes :meth:`encode` would produce (without encoding)."""
+        raise NotImplementedError
+
+    def pack_greedy(self, items: Sequence[Tuple[int, int]], start: int,
+                    budget: int) -> int:
+        """How many of ``items[start:]`` fit an encoded page of at most
+        ``budget`` bytes (always at least 1 so packing makes progress)."""
+        raise NotImplementedError
+
+    # -- keys-only (fence/zonemap) pages ------------------------------------
+
+    def encode_keys(self, keys: Sequence[int]) -> bytes:
+        raise NotImplementedError
+
+    def decode_keys(self, data, offset: int = 0, count: int = -1) -> np.ndarray:
+        raise NotImplementedError
+
+    def pack_keys_greedy(self, keys: Sequence[int], start: int,
+                         budget: int) -> int:
+        raise NotImplementedError
+
+    # -- shared helpers ------------------------------------------------------
+
+    def page_count(self, data, offset: int = 0) -> int:
+        """Entry count of a framed page (not available for raw pages)."""
+        codec_id, _kind, count, _poff = _PAGE_HEADER.unpack_from(data, offset)
+        if codec_id != self.codec_id:
+            raise ValueError(
+                f"page stamped codec id {codec_id}, decoder is {self.codec_id}")
+        return count
+
+    def _check_header(self, data, offset: int, kind: int) -> Tuple[int, int]:
+        codec_id, got_kind, count, payload_off = _PAGE_HEADER.unpack_from(data, offset)
+        if codec_id != self.codec_id:
+            raise ValueError(
+                f"page stamped codec id {codec_id}, decoder is {self.codec_id}")
+        if got_kind != kind:
+            raise ValueError(f"expected page kind {kind}, got {got_kind}")
+        return count, payload_off
+
+    def max_entries(self, budget: int) -> int:
+        """Upper bound on entries any page of ``budget`` bytes can hold."""
+        raise NotImplementedError
+
+
+class RawCodec(LeafCodec):
+    """The legacy headerless 16-byte-slot layout, unchanged bytes.
+
+    Indexes never route raw pages through the framing API — they branch
+    into their pre-existing serialization when ``codec.is_raw`` — so the
+    raw layout (and therefore every charged read and write) is
+    bit-identical to the code before the codec layer existed.  The
+    methods below exist so the property-test suite can exercise one
+    uniform interface; ``decode`` needs an explicit ``count`` because
+    raw pages carry no header.
+    """
+
+    name = "raw"
+    codec_id = 0
+    is_raw = True
+
+    def encode(self, items: Sequence[Tuple[int, int]]) -> bytes:
+        return pack_entries(items)
+
+    def decode(self, data, offset: int = 0, count: int = -1) -> List[Tuple[int, int]]:
+        if count < 0:
+            raise ValueError("raw pages are headerless: decode needs a count")
+        return unpack_entries(data, count, offset)
+
+    def decode_arrays(self, data, offset: int = 0,
+                      count: int = -1) -> Tuple[np.ndarray, np.ndarray]:
+        if count < 0:
+            raise ValueError("raw pages are headerless: decode needs a count")
+        flat = np.frombuffer(data, dtype="<u8", count=2 * count, offset=offset)
+        return flat[0::2], flat[1::2]
+
+    def encoded_size(self, items: Sequence[Tuple[int, int]]) -> int:
+        return ENTRY_SIZE * len(items)
+
+    def pack_greedy(self, items: Sequence[Tuple[int, int]], start: int,
+                    budget: int) -> int:
+        return max(1, min(len(items) - start, budget // ENTRY_SIZE))
+
+    def encode_keys(self, keys: Sequence[int]) -> bytes:
+        from .serial import pack_u64s
+        return pack_u64s(list(keys))
+
+    def decode_keys(self, data, offset: int = 0, count: int = -1) -> np.ndarray:
+        if count < 0:
+            raise ValueError("raw pages are headerless: decode needs a count")
+        return np.frombuffer(data, dtype="<u8", count=count, offset=offset)
+
+    def pack_keys_greedy(self, keys: Sequence[int], start: int,
+                         budget: int) -> int:
+        return max(1, min(len(keys) - start, budget // 8))
+
+    def max_entries(self, budget: int) -> int:
+        return budget // ENTRY_SIZE
+
+
+class DeltaVarintCodec(LeafCodec):
+    """Delta + LEB128 varint coding with a split payload column.
+
+    Entries-page wire layout (after the 8-byte page header)::
+
+        u64 first_key
+        varint key_delta[1..count-1]        (delta to previous key)
+        -- payload column at header.payload_off --
+        varint zigzag(payload[i] - key[i])  for i in [0, count)
+
+    The paper's uniform ycsb keys span 2^62, so a delta at 100k-200k
+    keys costs ~7 bytes and the ``payload = key + 1`` residual one byte:
+    ~8 bytes per entry against raw's 16.  Keys-only pages drop the
+    payload column (``payload_off == 0``).
+    """
+
+    name = "delta"
+    codec_id = 1
+
+    def encode(self, items: Sequence[Tuple[int, int]]) -> bytes:
+        count = len(items)
+        if count > _MAX_PAGE_COUNT:
+            raise ValueError(f"page overflow: {count} entries")
+        if not count:
+            return _PAGE_HEADER.pack(self.codec_id, KIND_ENTRIES, 0, 0)
+        body = bytearray()
+        body += _U64.pack(items[0][0])
+        previous = items[0][0]
+        for key, _payload in items[1:]:
+            _varint_append(body, (key - previous) & _U64_MASK)
+            previous = key
+        payload_off = PAGE_HEADER_SIZE + len(body)
+        for key, payload in items:
+            _varint_append(body, _zigzag(key, payload))
+        return _PAGE_HEADER.pack(self.codec_id, KIND_ENTRIES, count,
+                                 payload_off) + bytes(body)
+
+    def decode(self, data, offset: int = 0, count: int = -1) -> List[Tuple[int, int]]:
+        count, payload_off = self._check_header(data, offset, KIND_ENTRIES)
+        if not count:
+            return []
+        keys = self._decode_key_column(data, offset, count)
+        pos = offset + payload_off
+        out: List[Tuple[int, int]] = []
+        for key in keys:
+            z, pos = _varint_read(data, pos)
+            out.append((key, _unzigzag(key, z)))
+        return out
+
+    def decode_arrays(self, data, offset: int = 0,
+                      count: int = -1) -> Tuple[np.ndarray, np.ndarray]:
+        count, payload_off = self._check_header(data, offset, KIND_ENTRIES)
+        if not count:
+            empty = np.empty(0, dtype=np.uint64)
+            return empty, empty
+        keys = self._decode_key_column(data, offset, count)
+        pos = offset + payload_off
+        zs = []
+        for _ in range(count):
+            z, pos = _varint_read(data, pos)
+            zs.append(z)
+        keys_arr = np.array(keys, dtype=np.uint64)
+        payloads = _unzigzag_arr(keys_arr, np.array(zs, dtype=np.uint64))
+        return keys_arr, payloads
+
+    def _decode_key_column(self, data, offset: int, count: int) -> List[int]:
+        pos = offset + PAGE_HEADER_SIZE
+        key = _U64.unpack_from(data, pos)[0]
+        pos += 8
+        keys = [key]
+        for _ in range(count - 1):
+            delta, pos = _varint_read(data, pos)
+            key = (key + delta) & _U64_MASK
+            keys.append(key)
+        return keys
+
+    def encoded_size(self, items: Sequence[Tuple[int, int]]) -> int:
+        if not items:
+            return PAGE_HEADER_SIZE
+        size = PAGE_HEADER_SIZE + 8
+        previous = items[0][0]
+        for key, _payload in items[1:]:
+            size += _varint_len((key - previous) & _U64_MASK)
+            previous = key
+        for key, payload in items:
+            size += _varint_len(_zigzag(key, payload))
+        return size
+
+    def pack_greedy(self, items: Sequence[Tuple[int, int]], start: int,
+                    budget: int) -> int:
+        size = PAGE_HEADER_SIZE + 8 + _varint_len(
+            _zigzag(items[start][0], items[start][1]))
+        taken = 1
+        previous = items[start][0]
+        limit = min(len(items) - start, _MAX_PAGE_COUNT)
+        while taken < limit:
+            key, payload = items[start + taken]
+            size += _varint_len((key - previous) & _U64_MASK)
+            size += _varint_len(_zigzag(key, payload))
+            if size > budget:
+                break
+            previous = key
+            taken += 1
+        return taken
+
+    def encode_keys(self, keys: Sequence[int]) -> bytes:
+        count = len(keys)
+        if count > _MAX_PAGE_COUNT:
+            raise ValueError(f"page overflow: {count} keys")
+        if not count:
+            return _PAGE_HEADER.pack(self.codec_id, KIND_KEYS, 0, 0)
+        body = bytearray()
+        body += _U64.pack(keys[0])
+        previous = keys[0]
+        for key in keys[1:]:
+            _varint_append(body, (key - previous) & _U64_MASK)
+            previous = key
+        return _PAGE_HEADER.pack(self.codec_id, KIND_KEYS, count, 0) + bytes(body)
+
+    def decode_keys(self, data, offset: int = 0, count: int = -1) -> np.ndarray:
+        count, _poff = self._check_header(data, offset, KIND_KEYS)
+        if not count:
+            return np.empty(0, dtype=np.uint64)
+        return np.array(self._decode_key_column(data, offset, count),
+                        dtype=np.uint64)
+
+    def pack_keys_greedy(self, keys: Sequence[int], start: int,
+                         budget: int) -> int:
+        size = PAGE_HEADER_SIZE + 8
+        taken = 1
+        previous = keys[start]
+        limit = min(len(keys) - start, _MAX_PAGE_COUNT)
+        while taken < limit:
+            key = keys[start + taken]
+            size += _varint_len((key - previous) & _U64_MASK)
+            if size > budget:
+                break
+            previous = key
+            taken += 1
+        return taken
+
+    def max_entries(self, budget: int) -> int:
+        # Two bytes per entry minimum: a 1-byte key delta + 1-byte residual.
+        return min(_MAX_PAGE_COUNT, max(1, (budget - PAGE_HEADER_SIZE - 8) // 2))
+
+
+_FOR_SUBHEADER = struct.Struct("<BB6x")  # key width, payload width
+_FOR_KEYS_SUBHEADER = struct.Struct("<B7x")  # key width
+
+
+class FoRCodec(LeafCodec):
+    """Frame-of-reference with numpy bit-packed residual columns.
+
+    Entries-page wire layout (after the 8-byte page header)::
+
+        u64 first_key
+        u8  key_width | u8 payload_width | 6 pad
+        key column:     (count-1) deltas of key_width bits, LSB-first
+        -- payload column at header.payload_off (byte aligned) --
+        payload column: count zigzag residuals of payload_width bits
+
+    Both widths are the page-local maximum bit length, so decode is
+    fully vectorized: one ``np.unpackbits`` + reshape + weighted sum per
+    column (:func:`~.vectorize.unpack_uint_bits`), ``np.cumsum`` to
+    rebuild keys.  The decoded key column is a sorted uint64 array that
+    drops straight into the ``np.searchsorted`` fast paths of PR 8.
+    """
+
+    name = "for"
+    codec_id = 2
+
+    @staticmethod
+    def _widths(items: Sequence[Tuple[int, int]]) -> Tuple[int, int]:
+        key_width = 0
+        payload_width = 0
+        previous = items[0][0]
+        for key, payload in items:
+            key_width = max(key_width, ((key - previous) & _U64_MASK).bit_length())
+            payload_width = max(payload_width, _zigzag(key, payload).bit_length())
+            previous = key
+        return key_width, payload_width
+
+    def encode(self, items: Sequence[Tuple[int, int]]) -> bytes:
+        count = len(items)
+        if count > _MAX_PAGE_COUNT:
+            raise ValueError(f"page overflow: {count} entries")
+        if not count:
+            return _PAGE_HEADER.pack(self.codec_id, KIND_ENTRIES, 0, 0)
+        keys = np.array([key for key, _ in items], dtype=np.uint64)
+        payloads = np.array([payload for _, payload in items], dtype=np.uint64)
+        deltas = np.diff(keys)
+        residuals = _zigzag_arr(keys, payloads)
+        key_width = int(deltas.max()).bit_length() if len(deltas) else 0
+        payload_width = int(residuals.max()).bit_length() if count else 0
+        key_col = pack_uint_bits(deltas, key_width)
+        payload_col = pack_uint_bits(residuals, payload_width)
+        payload_off = PAGE_HEADER_SIZE + 8 + _FOR_SUBHEADER.size + len(key_col)
+        return (_PAGE_HEADER.pack(self.codec_id, KIND_ENTRIES, count, payload_off)
+                + _U64.pack(items[0][0])
+                + _FOR_SUBHEADER.pack(key_width, payload_width)
+                + key_col + payload_col)
+
+    def decode_arrays(self, data, offset: int = 0,
+                      count: int = -1) -> Tuple[np.ndarray, np.ndarray]:
+        count, payload_off = self._check_header(data, offset, KIND_ENTRIES)
+        if not count:
+            empty = np.empty(0, dtype=np.uint64)
+            return empty, empty
+        first_key = _U64.unpack_from(data, offset + PAGE_HEADER_SIZE)[0]
+        key_width, payload_width = _FOR_SUBHEADER.unpack_from(
+            data, offset + PAGE_HEADER_SIZE + 8)
+        col_off = offset + PAGE_HEADER_SIZE + 8 + _FOR_SUBHEADER.size
+        deltas = unpack_uint_bits(data, count - 1, key_width, col_off)
+        keys = np.empty(count, dtype=np.uint64)
+        keys[0] = first_key
+        if count > 1:
+            keys[1:] = np.uint64(first_key) + np.cumsum(deltas, dtype=np.uint64)
+        residuals = unpack_uint_bits(data, count, payload_width,
+                                     offset + payload_off)
+        return keys, _unzigzag_arr(keys, residuals)
+
+    def decode(self, data, offset: int = 0, count: int = -1) -> List[Tuple[int, int]]:
+        # The scalar path shares the decoder: FoR columns are opaque bit
+        # streams, so there is no per-slot parse to do lazily; charged
+        # I/O is unaffected either way (the whole block is already read).
+        keys, payloads = self.decode_arrays(data, offset)
+        return list(zip(keys.tolist(), payloads.tolist()))
+
+    def encoded_size(self, items: Sequence[Tuple[int, int]]) -> int:
+        if not items:
+            return PAGE_HEADER_SIZE
+        key_width, payload_width = self._widths(items)
+        count = len(items)
+        return (PAGE_HEADER_SIZE + 8 + _FOR_SUBHEADER.size
+                + ((count - 1) * key_width + 7) // 8
+                + (count * payload_width + 7) // 8)
+
+    def pack_greedy(self, items: Sequence[Tuple[int, int]], start: int,
+                    budget: int) -> int:
+        fixed = PAGE_HEADER_SIZE + 8 + _FOR_SUBHEADER.size
+        key_width = 0
+        payload_width = max(0, _zigzag(items[start][0], items[start][1]).bit_length())
+        taken = 1
+        previous = items[start][0]
+        limit = min(len(items) - start, _MAX_PAGE_COUNT)
+        while taken < limit:
+            key, payload = items[start + taken]
+            kw = max(key_width, ((key - previous) & _U64_MASK).bit_length())
+            pw = max(payload_width, _zigzag(key, payload).bit_length())
+            size = fixed + (taken * kw + 7) // 8 + ((taken + 1) * pw + 7) // 8
+            if size > budget:
+                break
+            key_width, payload_width = kw, pw
+            previous = key
+            taken += 1
+        return taken
+
+    def encode_keys(self, keys: Sequence[int]) -> bytes:
+        count = len(keys)
+        if count > _MAX_PAGE_COUNT:
+            raise ValueError(f"page overflow: {count} keys")
+        if not count:
+            return _PAGE_HEADER.pack(self.codec_id, KIND_KEYS, 0, 0)
+        arr = np.array(list(keys), dtype=np.uint64)
+        deltas = np.diff(arr)
+        key_width = int(deltas.max()).bit_length() if len(deltas) else 0
+        return (_PAGE_HEADER.pack(self.codec_id, KIND_KEYS, count, 0)
+                + _U64.pack(int(arr[0]))
+                + _FOR_KEYS_SUBHEADER.pack(key_width)
+                + pack_uint_bits(deltas, key_width))
+
+    def decode_keys(self, data, offset: int = 0, count: int = -1) -> np.ndarray:
+        count, _poff = self._check_header(data, offset, KIND_KEYS)
+        if not count:
+            return np.empty(0, dtype=np.uint64)
+        first_key = _U64.unpack_from(data, offset + PAGE_HEADER_SIZE)[0]
+        key_width = _FOR_KEYS_SUBHEADER.unpack_from(
+            data, offset + PAGE_HEADER_SIZE + 8)[0]
+        col_off = offset + PAGE_HEADER_SIZE + 8 + _FOR_KEYS_SUBHEADER.size
+        deltas = unpack_uint_bits(data, count - 1, key_width, col_off)
+        keys = np.empty(count, dtype=np.uint64)
+        keys[0] = first_key
+        if count > 1:
+            keys[1:] = np.uint64(first_key) + np.cumsum(deltas, dtype=np.uint64)
+        return keys
+
+    def pack_keys_greedy(self, keys: Sequence[int], start: int,
+                         budget: int) -> int:
+        fixed = PAGE_HEADER_SIZE + 8 + _FOR_KEYS_SUBHEADER.size
+        key_width = 0
+        taken = 1
+        previous = keys[start]
+        limit = min(len(keys) - start, _MAX_PAGE_COUNT)
+        while taken < limit:
+            key = keys[start + taken]
+            kw = max(key_width, ((key - previous) & _U64_MASK).bit_length())
+            if fixed + (taken * kw + 7) // 8 > budget:
+                break
+            key_width = kw
+            previous = key
+            taken += 1
+        return taken
+
+    def max_entries(self, budget: int) -> int:
+        # Width-0 columns make the true maximum the u16 count ceiling.
+        return _MAX_PAGE_COUNT
+
+
+_CODECS = {codec.name: codec for codec in (RawCodec(), DeltaVarintCodec(), FoRCodec())}
+_BY_ID = {codec.codec_id: codec for codec in _CODECS.values()}
+
+#: Registered codec names, in codec-id order.
+CODEC_NAMES = tuple(sorted(_CODECS, key=lambda name: _CODECS[name].codec_id))
+
+
+def get_codec(codec) -> LeafCodec:
+    """Resolve a codec name (or pass a :class:`LeafCodec` through)."""
+    if isinstance(codec, LeafCodec):
+        return codec
+    try:
+        return _CODECS[codec]
+    except KeyError:
+        raise ValueError(
+            f"unknown codec {codec!r}; choose from {CODEC_NAMES}") from None
+
+
+def codec_id_of(data, offset: int = 0) -> int:
+    """The codec id stamped in a framed page header."""
+    return data[offset]

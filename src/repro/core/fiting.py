@@ -36,6 +36,7 @@ from ..models import (SegmentArray, optimal_segments, shrinking_cone_segments,
                       truncate_positions)
 from ..storage import Pager
 from .btree import BPlusTree
+from .codecs import get_codec
 from .interface import DiskIndex, KeyPayload, TOMBSTONE
 from .serial import (ENTRY_SIZE, NULL_BLOCK, keys_view, pack_entries,
                      payload_at, unpack_entries)
@@ -100,8 +101,14 @@ class FitingTreeIndex(DiskIndex):
     name = "fiting"
 
     def __init__(self, pager: Pager, error_bound: int = 64, buffer_capacity: int = 256,
-                 segmentation: str = "streaming", file_prefix: str = "fiting") -> None:
+                 segmentation: str = "streaming", file_prefix: str = "fiting",
+                 codec: str = "raw") -> None:
         super().__init__(pager)
+        # The FITing-tree addresses segment data through per-segment
+        # linear models whose predictions are fixed-stride slot offsets,
+        # so compressed leaf pages (Section 16) do not apply: the codec
+        # name is validated, then the raw layout is kept.
+        get_codec(codec)
         if error_bound < 1:
             raise ValueError(f"error bound must be >= 1, got {error_bound}")
         if buffer_capacity < 1:

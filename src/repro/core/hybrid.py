@@ -16,6 +16,15 @@ slot" is therefore reproduced verbatim by LIPP's scan path.
 
 The hybrid is evaluated read-only in the paper (lookup and scan on a
 bulk-loaded index); inserts raise ``NotImplementedError``.
+
+Compressed leaves (DESIGN.md Section 16): with a non-raw ``codec`` the
+leaves hold self-framing codec pages (2-4x the entries per block) and
+the inner part — *whatever* ``inner_kind`` was requested — is replaced
+by a LeCo-style :class:`~repro.models.zonemap.FenceZonemap` over the
+leaf max keys.  At a few hundred fences the structure of the learned
+inner no longer matters at page granularity (the SIGMOD 2024 follow-up's
+finding); what matters is that the fence array itself is compressed, so
+routing is an in-memory bisect plus exactly one fence-block read.
 """
 
 from __future__ import annotations
@@ -28,6 +37,7 @@ import numpy as np
 from ..storage import Pager
 from .alex import AlexIndex
 from .btree import BTreeIndex
+from .codecs import get_codec
 from .fiting import FitingTreeIndex
 from .interface import DiskIndex, KeyPayload
 from .lipp import LippIndex
@@ -58,12 +68,19 @@ class HybridIndex(DiskIndex):
     Args:
         pager: storage access path.
         inner_kind: one of ``HYBRID_INNER_KINDS``.
-        leaf_fill: bulk-load fill factor of the dense leaves.
-        inner_params: forwarded to the inner index constructor.
+        leaf_fill: bulk-load fill factor of the dense leaves (under a
+            compressed codec: fraction of the leaf byte budget used).
+        codec: leaf-page codec (Section 16).  Raw keeps the byte-
+            identical learned-inner layout; a compressed codec packs
+            codec pages into the leaves and swaps the inner part for a
+            compressed fence zonemap (``<file_prefix>.fence``).
+        inner_params: forwarded to the inner index constructor (ignored
+            under a compressed codec, which has no inner index).
     """
 
     def __init__(self, pager: Pager, inner_kind: str = "pgm", leaf_fill: float = 0.8,
-                 file_prefix: str = "hybrid", **inner_params) -> None:
+                 file_prefix: str = "hybrid", codec: str = "raw",
+                 **inner_params) -> None:
         super().__init__(pager)
         if inner_kind not in HYBRID_INNER_KINDS:
             raise ValueError(
@@ -73,15 +90,24 @@ class HybridIndex(DiskIndex):
         self.name = f"hybrid-{inner_kind}"
         self.inner_kind = inner_kind
         self.leaf_fill = leaf_fill
+        self.codec = get_codec(codec)
         self._file_prefix = file_prefix
         self._inner_params = dict(inner_params)
         self._files_before = set(pager.device.files)
         self._leaf_file = pager.device.get_or_create_file(f"{file_prefix}.leaf")
-        inner_cls = HYBRID_INNER_KINDS[inner_kind]
-        self.inner: DiskIndex = inner_cls(pager, file_prefix=f"{file_prefix}.inner",
-                                          **inner_params)
+        self.zonemap = None
+        if self.codec.is_raw:
+            inner_cls = HYBRID_INNER_KINDS[inner_kind]
+            self.inner: Optional[DiskIndex] = inner_cls(
+                pager, file_prefix=f"{file_prefix}.inner", **inner_params)
+            self._fence_file = None
+        else:
+            self.inner = None
+            self._fence_file = pager.device.get_or_create_file(
+                f"{file_prefix}.fence")
         self._inner_resident = False
         self.leaf_capacity = (pager.block_size - LEAF_HEADER_SIZE) // ENTRY_SIZE
+        self.leaf_base = 0
         self.num_leaves = 0
         self.max_key: Optional[int] = None
 
@@ -90,10 +116,58 @@ class HybridIndex(DiskIndex):
     def bulk_load(self, items: Sequence[KeyPayload]) -> None:
         if self.num_leaves:
             raise RuntimeError("index already bulk-loaded")
-        with self.pager.phase("bulkload"):
-            directory = self._write_leaves(items)
-        self.inner.bulk_load(directory)
+        if self.codec.is_raw:
+            with self.pager.phase("bulkload"):
+                directory = self._write_leaves(items)
+            self.inner.bulk_load(directory)
+        else:
+            with self.pager.phase("bulkload"):
+                self._write_leaves_compressed(items)
         self.max_key = items[-1][0] if items else None
+
+    def _write_leaves_compressed(self, items: Sequence[KeyPayload]) -> None:
+        """Greedy-pack codec pages into linked leaves and build the
+        fence zonemap over the leaf max keys.
+
+        ``leaf_fill`` scales the per-leaf byte budget the way it scales
+        the raw layout's entry count; the codec id is stamped into the
+        leaf header's pad field (raw leaves carry 0 there — RawCodec's
+        id) on top of the codec page's own self-framing header.
+        """
+        from ..models.zonemap import FenceZonemap
+
+        bs = self.pager.block_size
+        codec = self.codec
+        budget = max(64, int((bs - LEAF_HEADER_SIZE) * self.leaf_fill))
+        chunks: List[Sequence[KeyPayload]] = []
+        pos = 0
+        while pos < len(items):
+            take = codec.pack_greedy(items, pos, budget)
+            chunks.append(items[pos : pos + take])
+            pos += take
+        if not chunks:
+            chunks.append([])
+        num_leaves = len(chunks)
+        first = self._leaf_file.allocate(num_leaves)
+        writes: List[tuple] = []
+        fences: List[int] = []
+        for i, chunk in enumerate(chunks):
+            next_ = first + i + 1 if i + 1 < num_leaves else NULL_BLOCK
+            prev = first + i - 1 if i > 0 else NULL_BLOCK
+            page = codec.encode(chunk)
+            block = bytearray(bs)
+            _LEAF_HEADER.pack_into(block, 0, len(chunk), codec.codec_id,
+                                   next_, prev, 0)
+            block[LEAF_HEADER_SIZE : LEAF_HEADER_SIZE + len(page)] = page
+            writes.append((first + i, bytes(block)))
+            if chunk:
+                fences.append(chunk[-1][0])
+        # One coalesced call, exactly like the raw layout.
+        self.pager.write_blocks(self._leaf_file, writes)
+        self.leaf_base = first
+        self.num_leaves = num_leaves
+        self.zonemap = FenceZonemap.build(
+            self.pager, self._fence_file, fences, codec)
 
     def _write_leaves(self, items: Sequence[KeyPayload]) -> List[KeyPayload]:
         """Pack dense linked leaves; returns (max key -> leaf block) entries."""
@@ -124,14 +198,26 @@ class HybridIndex(DiskIndex):
 
     def _read_leaf(self, block: int):
         raw = self.pager.read_block(self._leaf_file, block)
-        count, _pad, next_, prev, _pad2 = _LEAF_HEADER.unpack_from(raw, 0)
-        entries = unpack_entries(raw, count, offset=LEAF_HEADER_SIZE)
+        return self._parse_leaf(raw)
+
+    def _parse_leaf(self, raw: bytes):
+        count, _codec_id, next_, prev, _pad2 = _LEAF_HEADER.unpack_from(raw, 0)
+        if self.codec.is_raw:
+            entries = unpack_entries(raw, count, offset=LEAF_HEADER_SIZE)
+        else:
+            entries = self.codec.decode(raw, offset=LEAF_HEADER_SIZE)
         return entries, next_
 
     def _route(self, key: int) -> Optional[int]:
         """Leaf block whose max key is the ceiling of ``key``."""
         if self.max_key is None or key > self.max_key:
             return None
+        if self.zonemap is not None:
+            with self.pager.phase("search"):
+                ordinal = self.zonemap.route(key)
+            if ordinal is None:
+                return None
+            return self.leaf_base + ordinal
         hits = self.inner.scan(key, 1)
         if not hits:
             return None
@@ -170,12 +256,19 @@ class HybridIndex(DiskIndex):
         unique = sorted(set(keys))
         results = {}
         with self.pager.batch():
-            leaf_of = {key: self._route(key) for key in unique}
+            if self.zonemap is not None:
+                leaf_of = self._route_batch_compressed(unique)
+            else:
+                leaf_of = {key: self._route(key) for key in unique}
             wanted = {block for block in leaf_of.values() if block is not None}
             with self.pager.phase("search"):
                 blocks = self.pager.read_span(self._leaf_file, wanted)
                 if _vectorized():
-                    self._search_leaves_vec(unique, leaf_of, blocks, results)
+                    if self.zonemap is not None:
+                        self._search_leaves_vec_compressed(
+                            unique, leaf_of, blocks, results)
+                    else:
+                        self._search_leaves_vec(unique, leaf_of, blocks, results)
                 else:
                     parsed = {}
                     for key in unique:
@@ -185,12 +278,51 @@ class HybridIndex(DiskIndex):
                             continue
                         entries = parsed.get(block)
                         if entries is None:
-                            raw = blocks[block]
-                            count = _LEAF_HEADER.unpack_from(raw, 0)[0]
-                            entries = parsed[block] = unpack_entries(
-                                raw, count, offset=LEAF_HEADER_SIZE)
+                            entries = parsed[block] = self._parse_leaf(
+                                blocks[block])[0]
                         results[key] = self._find_in_entries(entries, key)
         return [results[key] for key in keys]
+
+    def _route_batch_compressed(self, unique) -> Dict[int, Optional[int]]:
+        """Batched zonemap routing: one coalesced fence-page span for
+        the whole batch, identical in both execution modes."""
+        routable = [key for key in unique
+                    if self.max_key is not None and key <= self.max_key]
+        with self.pager.phase("search"):
+            ordinals = self.zonemap.route_many(routable)
+        leaf_of: Dict[int, Optional[int]] = {key: None for key in unique}
+        for key, ordinal in ordinals.items():
+            if ordinal is not None:
+                leaf_of[key] = self.leaf_base + ordinal
+        return leaf_of
+
+    def _search_leaves_vec_compressed(self, unique, leaf_of, blocks,
+                                      results) -> None:
+        """Vectorized compressed-leaf search: the decoded page columns
+        are frame-cached (:meth:`Pager.cached_decode`) and each distinct
+        leaf is searched with one ``np.searchsorted`` over its group.
+        The leaves were already fetched by the caller's ``read_span``,
+        so no charged I/O happens here."""
+        groups: Dict[int, List[int]] = {}
+        for key in unique:
+            block = leaf_of[key]
+            if block is None:
+                results[key] = None
+            else:
+                groups.setdefault(block, []).append(key)
+        for block, group in groups.items():
+            raw = blocks[block]
+            leaf_keys, payloads = self.pager.cached_decode(
+                self._leaf_file, block, raw, self.codec,
+                offset=LEAF_HEADER_SIZE)
+            count = len(leaf_keys)
+            karr = np.array(group, dtype=np.uint64)
+            slots = np.searchsorted(leaf_keys, karr, side="left")
+            for key, slot in zip(group, slots.tolist()):
+                if slot < count and int(leaf_keys[slot]) == key:
+                    results[key] = int(payloads[slot])
+                else:
+                    results[key] = None
 
     def _search_leaves_vec(self, unique, leaf_of, blocks, results) -> None:
         """Vectorized leaf search: one ``np.searchsorted`` per distinct
@@ -264,25 +396,37 @@ class HybridIndex(DiskIndex):
 
     def verify(self) -> int:
         """Check leaf-chain linkage and order, per-leaf sortedness, and
-        the inner directory's routing agreement with the leaves."""
+        the routing agreement between the inner structure (learned index
+        or fence zonemap) and the leaves.  Under a compressed codec also
+        checks the codec-id stamp of every leaf header."""
         with self._free_io():
             count = 0
             walked = 0
             previous_key = -1
             previous_block = NULL_BLOCK
-            block = 0 if self.num_leaves else NULL_BLOCK
+            base = self.leaf_base if self.zonemap is not None else 0
+            block = base if self.num_leaves else NULL_BLOCK
             while block != NULL_BLOCK:
                 assert walked < self.num_leaves, "leaf chain cycles or overruns"
                 raw = self.pager.read_block(self._leaf_file, block)
-                entry_count, _pad, next_, prev, _pad2 = _LEAF_HEADER.unpack_from(raw, 0)
-                entries = unpack_entries(raw, entry_count, offset=LEAF_HEADER_SIZE)
+                entry_count, codec_id, next_, prev, _pad2 = (
+                    _LEAF_HEADER.unpack_from(raw, 0))
+                assert codec_id == self.codec.codec_id, (
+                    f"leaf {block} stamped codec {codec_id}, "
+                    f"expected {self.codec.codec_id}")
+                entries, _next = self._parse_leaf(raw)
+                assert len(entries) == entry_count, "leaf count drift"
                 assert prev == previous_block, "broken prev link"
                 keys = [k for k, _ in entries]
                 assert keys == sorted(set(keys)), "leaf unsorted"
                 if keys:
                     assert keys[0] > previous_key, "leaves out of order"
-                    assert self.inner.lookup(keys[-1]) == block, (
-                        "inner directory misroutes a leaf max key")
+                    if self.zonemap is not None:
+                        assert self.zonemap.route(keys[-1]) == walked, (
+                            "fence zonemap misroutes a leaf max key")
+                    else:
+                        assert self.inner.lookup(keys[-1]) == block, (
+                            "inner directory misroutes a leaf max key")
                     previous_key = keys[-1]
                 count += len(entries)
                 walked += 1
@@ -291,6 +435,8 @@ class HybridIndex(DiskIndex):
             assert walked == self.num_leaves, "leaf chain shorter than num_leaves"
             if self.max_key is not None:
                 assert previous_key == self.max_key, "stored max_key diverges"
+            if self.zonemap is not None:
+                self.zonemap.verify()
             return count
 
     def _inner_file_names(self) -> List[str]:
@@ -308,21 +454,41 @@ class HybridIndex(DiskIndex):
     def init_params(self) -> dict:
         params = dict(self._inner_params)
         params.update({"leaf_fill": self.leaf_fill, "file_prefix": self._file_prefix})
+        if not self.codec.is_raw:
+            params["codec"] = self.codec.name
         return params
 
     def to_meta(self) -> dict:
-        return {"num_leaves": self.num_leaves, "max_key": self.max_key,
-                "inner": self.inner.to_meta()}
+        meta = {"num_leaves": self.num_leaves, "max_key": self.max_key}
+        if self.zonemap is not None:
+            meta["leaf_base"] = self.leaf_base
+            meta["zonemap"] = self.zonemap.to_meta()
+        else:
+            meta["inner"] = self.inner.to_meta()
+        return meta
 
     def restore_meta(self, meta: dict) -> None:
         self.num_leaves = meta["num_leaves"]
         self.max_key = meta["max_key"]
-        self.inner.restore_meta(meta["inner"])
+        if "zonemap" in meta:
+            from ..models.zonemap import FenceZonemap
+
+            self.leaf_base = meta["leaf_base"]
+            self.zonemap = FenceZonemap.attach(
+                self.pager, self._fence_file, self.codec, meta["zonemap"])
+        else:
+            self.inner.restore_meta(meta["inner"])
 
     def file_roles(self) -> dict:
+        if self.zonemap is not None or not self.codec.is_raw:
+            return {self._fence_file.name: "inner",
+                    self._leaf_file.name: "leaf"}
         roles = {name: "inner" for name in self._inner_file_names()}
         roles[self._leaf_file.name] = "leaf"
         return roles
 
     def height(self) -> int:
+        if self.zonemap is not None:
+            # In-memory page boundaries -> one fence block -> one leaf.
+            return 2
         return self.inner.height() + 1

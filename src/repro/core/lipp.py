@@ -34,6 +34,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 
 from ..models import build_fmcd_model, lipp_node_slots
 from ..storage import Pager
+from .codecs import get_codec
 from .interface import DiskIndex, KeyPayload
 from .serial import NULL_BLOCK
 
@@ -101,8 +102,13 @@ class LippIndex(DiskIndex):
     name = "lipp"
 
     def __init__(self, pager: Pager, rebuild_factor: float = 1.0,
-                 build_gap_count: int = 4, file_prefix: str = "lipp") -> None:
+                 build_gap_count: int = 4, file_prefix: str = "lipp",
+                 codec: str = "raw") -> None:
         super().__init__(pager)
+        # LIPP's FMCD models map keys directly to fixed-stride node
+        # slots (DATA/NULL/CHILD), incompatible with variable-width
+        # codec pages; the codec name is validated, then raw is kept.
+        get_codec(codec)
         if rebuild_factor <= 0:
             raise ValueError(f"rebuild factor must be positive, got {rebuild_factor}")
         self._file_prefix = file_prefix

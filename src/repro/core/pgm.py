@@ -26,10 +26,14 @@ Dynamic index (Arbitrary Insert, Figure 1(b) of the paper)
 from __future__ import annotations
 
 import struct
+from bisect import bisect_left, bisect_right
 from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..models import optimal_segments
 from ..storage import BlockFile, Pager
+from .codecs import get_codec
 from .interface import DiskIndex, KeyPayload, TOMBSTONE
 from .serial import ENTRY_SIZE, entry_at, pack_entries, payload_at, unpack_entries
 from .vectorize import BlockMirror, enabled as _vectorized
@@ -71,10 +75,17 @@ class StaticPgm:
         epsilon: PLA error bound (paper default 64).
         levels_memory_resident: pin the descriptor levels in RAM
             (Section 6.2 hybrid case).
+        codec: leaf-page codec (DESIGN.md Section 16).  Raw keeps the
+            byte-identical PR 1-8 layout; a compressed codec packs the
+            data into self-framing codec pages (one per block) and
+            replaces the PLA descriptor levels with a LeCo-style
+            :class:`~repro.models.zonemap.FenceZonemap` over the data
+            pages' max keys, stored in the same ``.levels`` file.
     """
 
     def __init__(self, pager: Pager, name: str, items: Sequence[KeyPayload],
-                 epsilon: int = 64, levels_memory_resident: bool = False) -> None:
+                 epsilon: int = 64, levels_memory_resident: bool = False,
+                 codec="raw") -> None:
         if not items:
             raise ValueError("a static PGM component cannot be empty")
         if epsilon < 1:
@@ -82,6 +93,7 @@ class StaticPgm:
         self.pager = pager
         self.name = name
         self.epsilon = epsilon
+        self.codec = get_codec(codec)
         self.count = len(items)
         self.min_key = items[0][0]
         self.max_key = items[-1][0]
@@ -93,15 +105,25 @@ class StaticPgm:
         # ordered bottom-up; level 0 predicts into the data array.
         self.level_table: List[Tuple[int, int]] = []
         self.root: Optional[Tuple[int, float, float]] = None
-        self._build(items)
+        # Compressed layout: data-page position table + fence zonemap.
+        self.page_starts: List[int] = []
+        self.zonemap = None
+        self.data_base = 0
+        if self.codec.is_raw:
+            self._build(items)
+        else:
+            self._build_compressed(items)
 
     @classmethod
     def attach(cls, pager: Pager, meta: dict) -> "StaticPgm":
         """Reconstruct a component over an already-loaded device image."""
+        from ..models.zonemap import FenceZonemap
+
         component = cls.__new__(cls)
         component.pager = pager
         component.name = meta["name"]
         component.epsilon = meta["epsilon"]
+        component.codec = get_codec(meta.get("codec", "raw"))
         component.count = meta["count"]
         component.min_key = meta["min_key"]
         component.max_key = meta["max_key"]
@@ -109,15 +131,51 @@ class StaticPgm:
         component.levels_file = pager.device.get_file(f"{meta['name']}.levels")
         component.level_table = [tuple(entry) for entry in meta["level_table"]]
         component.root = tuple(meta["root"]) if meta["root"] is not None else None
+        component.page_starts = list(meta.get("page_starts", []))
+        component.data_base = meta.get("data_base", 0)
+        component.zonemap = None
+        if meta.get("zonemap") is not None:
+            component.zonemap = FenceZonemap.attach(
+                pager, component.levels_file, component.codec, meta["zonemap"])
         return component
 
     def to_meta(self) -> dict:
         return {"name": self.name, "epsilon": self.epsilon, "count": self.count,
+                "codec": self.codec.name,
                 "min_key": self.min_key, "max_key": self.max_key,
                 "level_table": [list(entry) for entry in self.level_table],
-                "root": list(self.root) if self.root is not None else None}
+                "root": list(self.root) if self.root is not None else None,
+                "page_starts": list(self.page_starts),
+                "data_base": self.data_base,
+                "zonemap": self.zonemap.to_meta() if self.zonemap is not None
+                else None}
 
     # -- construction --------------------------------------------------------
+
+    def _build_compressed(self, items: Sequence[KeyPayload]) -> None:
+        """Greedy-pack the sorted entries into codec pages, one page per
+        block, and build the fence zonemap over the page max keys."""
+        from ..models.zonemap import FenceZonemap
+
+        bs = self.pager.block_size
+        codec = self.codec
+        pages: List[bytes] = []
+        page_lasts: List[int] = []
+        pos = 0
+        while pos < self.count:
+            take = codec.pack_greedy(items, pos, bs)
+            chunk = items[pos : pos + take]
+            self.page_starts.append(pos)
+            page_lasts.append(chunk[-1][0])
+            pages.append(codec.encode(chunk))
+            pos += take
+        start = self.data_file.allocate(len(pages))
+        self.pager.write_blocks(self.data_file, [
+            (start + i, page + b"\x00" * (bs - len(page)))
+            for i, page in enumerate(pages)])
+        self.data_base = start
+        self.zonemap = FenceZonemap.build(
+            self.pager, self.levels_file, page_lasts, codec)
 
     def _build(self, items: Sequence[KeyPayload]) -> None:
         blocks = (self.count * ENTRY_SIZE + self.pager.block_size - 1) // self.pager.block_size
@@ -145,7 +203,39 @@ class StaticPgm:
     @property
     def num_levels(self) -> int:
         """Levels including the data level and the in-memory root."""
+        if self.zonemap is not None:
+            # Compressed: data pages + fence pages + the in-memory
+            # page-boundary array standing in for the root.
+            return 3
         return len(self.level_table) + 2
+
+    # -- compressed search ---------------------------------------------------
+
+    def _read_page(self, page: int) -> bytes:
+        return self.pager.read_block(self.data_file, self.data_base + page)
+
+    def _lookup_compressed(self, key: int) -> Optional[int]:
+        """Zonemap route (1 fence block) + 1 data page, scalar search."""
+        page = self.zonemap.route(key)
+        raw = self._read_page(page)
+        entries = self.codec.decode(raw)
+        slot = _floor_slot([k for k, _ in entries], key)
+        if entries[slot][0] == key:
+            return entries[slot][1]
+        return None
+
+    def _lookup_compressed_vec(self, key: int) -> Optional[int]:
+        """Same fetches as :meth:`_lookup_compressed`; the decoded page
+        columns are frame-cached (:meth:`Pager.cached_decode`) and the
+        in-page search is one ``np.searchsorted``."""
+        page = self.zonemap.route(key)
+        raw = self._read_page(page)
+        keys, payloads = self.pager.cached_decode(
+            self.data_file, self.data_base + page, raw, self.codec)
+        slot = int(np.searchsorted(keys, np.uint64(key), side="left"))
+        if slot < len(keys) and int(keys[slot]) == key:
+            return int(payloads[slot])
+        return None
 
     # -- search ------------------------------------------------------------------
 
@@ -201,6 +291,8 @@ class StaticPgm:
     def lookup(self, key: int) -> Optional[int]:
         if key < self.min_key or key > self.max_key:
             return None
+        if self.zonemap is not None:
+            return self._lookup_compressed(key)
         lo, hi = self._descend(key)
         entries = self._read_data_range(lo, hi)
         slot = _floor_slot([k for k, _ in entries], key)
@@ -230,6 +322,8 @@ class StaticPgm:
         as scalar)."""
         if key < self.min_key or key > self.max_key:
             return None
+        if self.zonemap is not None:
+            return self._lookup_compressed_vec(key)
         lo, hi = self._descend_vec(key)
         raw = self.pager.read_bytes(self.data_file, lo * ENTRY_SIZE,
                                     (hi - lo + 1) * ENTRY_SIZE)
@@ -244,6 +338,20 @@ class StaticPgm:
             return 0
         if key > self.max_key:
             return self.count
+        if self.zonemap is not None:
+            # The routed page is the first whose max key >= key, so every
+            # earlier page holds only smaller keys: the global ceiling is
+            # the in-page ceiling offset by the page's start position.
+            page = self.zonemap.route(key)
+            raw = self._read_page(page)
+            if _vectorized():
+                keys, _payloads = self.pager.cached_decode(
+                    self.data_file, self.data_base + page, raw, self.codec)
+                slot = int(np.searchsorted(keys, np.uint64(key), side="left"))
+            else:
+                page_keys = [k for k, _ in self.codec.decode(raw)]
+                slot = bisect_left(page_keys, key)
+            return self.page_starts[page] + slot
         if _vectorized():
             lo, hi = self._descend_vec(key)
             raw = self.pager.read_bytes(self.data_file, lo * ENTRY_SIZE,
@@ -268,6 +376,9 @@ class StaticPgm:
         at a time as the consumer pulls them, so a take-1 scan (the
         hybrid's routing pattern) no longer pays for parsing the whole
         block into tuples."""
+        if self.zonemap is not None:
+            yield from self._iterate_compressed(position)
+            return
         bs = self.pager.block_size
         per_block = bs // ENTRY_SIZE
         pos = position
@@ -286,6 +397,26 @@ class StaticPgm:
                     yield entry
             pos = first_in_block + in_block
 
+    def _iterate_compressed(self, position: int) -> Iterator[KeyPayload]:
+        """Sequential walk over codec pages from a data position.
+
+        One charged block read per page in both execution modes; each
+        page decodes to (count) entries — the per-block entry yield that
+        makes compressed scans fetch proportionally fewer blocks.
+        """
+        num_pages = len(self.page_starts)
+        page = bisect_right(self.page_starts, position) - 1
+        if page < 0:
+            page = 0
+        while page < num_pages:
+            raw = self._read_page(page)
+            entries = self.codec.decode(raw)
+            skip = max(0, position - self.page_starts[page])
+            for entry in entries[skip:]:
+                yield entry
+            page += 1
+            position = self.page_starts[page] if page < num_pages else self.count
+
     def destroy(self) -> None:
         """Delete both files from disk (after an LSM merge)."""
         self.pager.invalidate_file(self.data_file.name)
@@ -302,12 +433,19 @@ class PgmIndex(DiskIndex):
         epsilon: PLA error bound for every component (paper default 64).
         buffer_capacity: entries in the sorted insert buffer (paper: 585).
         level_ratio: LSM size ratio between adjacent levels.
+        codec: leaf-page codec for static components (Section 16).  The
+            insert buffer always stays raw: it is tiny (a few blocks),
+            rewritten in place on every upsert, and probed with 16-byte
+            point reads — compressing it would buy nothing and cost a
+            decode per probe.  LSM merges rebuild components through the
+            codec, so flushed data is compressed from the first merge.
     """
 
     name = "pgm"
 
     def __init__(self, pager: Pager, epsilon: int = 64, buffer_capacity: int = 585,
-                 level_ratio: int = 2, file_prefix: str = "pgm") -> None:
+                 level_ratio: int = 2, file_prefix: str = "pgm",
+                 codec: str = "raw") -> None:
         super().__init__(pager)
         if buffer_capacity < 1:
             raise ValueError(f"buffer capacity must be >= 1, got {buffer_capacity}")
@@ -317,6 +455,7 @@ class PgmIndex(DiskIndex):
         self.buffer_capacity = buffer_capacity
         self.level_ratio = level_ratio
         self.file_prefix = file_prefix
+        self.codec = get_codec(codec)
         self._buffer_file = pager.device.get_or_create_file(f"{file_prefix}.buffer")
         if self._buffer_file.num_blocks == 0:
             self._buffer_file.allocate(
@@ -336,7 +475,8 @@ class PgmIndex(DiskIndex):
         self._generation += 1
         return StaticPgm(self.pager, f"{self.file_prefix}.c{self._generation}",
                          items, epsilon=self.epsilon,
-                         levels_memory_resident=self._levels_resident)
+                         levels_memory_resident=self._levels_resident,
+                         codec=self.codec)
 
     def _read_buffer(self, count: Optional[int] = None) -> List[KeyPayload]:
         count = self.buffer_count if count is None else count
@@ -565,7 +705,8 @@ class PgmIndex(DiskIndex):
 
     def init_params(self) -> dict:
         return {"epsilon": self.epsilon, "buffer_capacity": self.buffer_capacity,
-                "level_ratio": self.level_ratio, "file_prefix": self.file_prefix}
+                "level_ratio": self.level_ratio, "file_prefix": self.file_prefix,
+                "codec": self.codec.name}
 
     def to_meta(self) -> dict:
         return {"buffer_count": self.buffer_count,

@@ -48,6 +48,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..models import LinearModel, optimal_segments
 from ..storage import Pager
+from .codecs import get_codec
 from .interface import DiskIndex, KeyPayload
 from .serial import ENTRY_SIZE, NULL_BLOCK, pack_entries, unpack_entries
 
@@ -77,8 +78,13 @@ class PlidIndex(DiskIndex):
     name = "plid"
 
     def __init__(self, pager: Pager, error_bound: int = 8, leaf_fill: float = 0.8,
-                 split_buffer_capacity: int = 128, file_prefix: str = "plid") -> None:
+                 split_buffer_capacity: int = 128, file_prefix: str = "plid",
+                 codec: str = "raw") -> None:
         super().__init__(pager)
+        # PLID's leaf models predict fixed-stride slot positions within
+        # the leaf, so compressed pages do not apply; the codec name is
+        # validated, then the raw layout is kept.
+        get_codec(codec)
         if error_bound < 1:
             raise ValueError(f"error bound must be >= 1, got {error_bound}")
         if not 0.1 <= leaf_fill <= 1.0:

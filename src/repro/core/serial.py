@@ -62,9 +62,23 @@ def _keys_dtype(stride: int) -> np.dtype:
                      "offsets": [0], "itemsize": stride})
 
 
-def entries_per_block(block_size: int) -> int:
-    """Key-payload entries that fit in one block (the paper's ``B``)."""
-    return block_size // ENTRY_SIZE
+def entries_per_block(block_size: int, codec=None) -> int:
+    """Key-payload entries that fit in one block (the paper's ``B``).
+
+    With no ``codec`` (or the raw codec) this is the fixed-stride
+    constant ``block_size // 16``.  With a compressed codec capacity is
+    data-dependent, so this returns the codec's *upper bound*
+    (:meth:`~repro.core.codecs.LeafCodec.max_entries`) — sizing math
+    that needs the achieved density must measure a built index instead
+    (see ``bench/experiments.py::exp_compression``).
+    """
+    if codec is None:
+        return block_size // ENTRY_SIZE
+    from .codecs import get_codec
+    resolved = get_codec(codec)
+    if resolved.is_raw:
+        return block_size // ENTRY_SIZE
+    return resolved.max_entries(block_size)
 
 
 def pack_entries(items: Sequence[Tuple[int, int]]) -> bytes:

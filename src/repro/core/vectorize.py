@@ -24,7 +24,16 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Dict, Iterator
 
-__all__ = ["BlockMirror", "enabled", "scalar_lookups", "set_vectorized"]
+import numpy as np
+
+__all__ = [
+    "BlockMirror",
+    "enabled",
+    "pack_uint_bits",
+    "scalar_lookups",
+    "set_vectorized",
+    "unpack_uint_bits",
+]
 
 _VECTORIZED = True
 
@@ -50,6 +59,48 @@ def scalar_lookups() -> Iterator[None]:
         yield
     finally:
         set_vectorized(previous)
+
+
+_ONE = np.uint64(1)
+
+
+def pack_uint_bits(values: np.ndarray, width: int) -> bytes:
+    """Bit-pack uint64 ``values`` at ``width`` bits each, LSB-first.
+
+    The frame-of-reference codec's column layout: value ``i`` occupies
+    bits ``[i*width, (i+1)*width)`` of the output, each value stored
+    least-significant-bit first, and the bit stream is laid into bytes
+    with ``bitorder="little"`` so :func:`unpack_uint_bits` is a single
+    ``np.unpackbits``/reshape/dot on the way back.  ``width == 0`` (all
+    values equal zero) packs to zero bytes.
+    """
+    values = np.ascontiguousarray(values, dtype=np.uint64)
+    n = len(values)
+    if n == 0 or width == 0:
+        return b""
+    if width > 64:
+        raise ValueError(f"bit width must be <= 64, got {width}")
+    shifts = np.arange(width, dtype=np.uint64)
+    bits = ((values[:, None] >> shifts[None, :]) & _ONE).astype(np.uint8)
+    return np.packbits(bits.reshape(-1), bitorder="little").tobytes()
+
+
+def unpack_uint_bits(data, count: int, width: int, offset: int = 0) -> np.ndarray:
+    """Inverse of :func:`pack_uint_bits`: ``count`` uint64 values of
+    ``width`` bits each, read from ``data`` starting at byte ``offset``."""
+    if count <= 0:
+        return np.empty(0, dtype=np.uint64)
+    if width == 0:
+        return np.zeros(count, dtype=np.uint64)
+    if width > 64:
+        raise ValueError(f"bit width must be <= 64, got {width}")
+    total_bits = count * width
+    nbytes = (total_bits + 7) // 8
+    raw = np.frombuffer(data, dtype=np.uint8, count=nbytes, offset=offset)
+    flat = np.unpackbits(raw, bitorder="little")[:total_bits]
+    bits = flat.reshape(count, width).astype(np.uint64)
+    weights = _ONE << np.arange(width, dtype=np.uint64)
+    return (bits * weights[None, :]).sum(axis=1).astype(np.uint64)
 
 
 class BlockMirror:

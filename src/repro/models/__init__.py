@@ -3,8 +3,10 @@
 from .fmcd import FmcdResult, build_fmcd_model, conflict_degree, lipp_node_slots
 from .linear import LinearModel, anchored_diff, truncate_positions, truncate_slots
 from .pla import Segment, SegmentArray, optimal_segments, shrinking_cone_segments
+from .zonemap import FenceZonemap
 
 __all__ = [
+    "FenceZonemap",
     "FmcdResult",
     "LinearModel",
     "Segment",

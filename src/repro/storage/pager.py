@@ -655,6 +655,24 @@ class Pager:
             self._meta_cache.popitem(last=False)
         return value
 
+    def cached_decode(self, file: BlockFile, block_no: int, data, codec,
+                      offset: int = 0):
+        """Frame-cached codec decode: ``(keys, payloads)`` uint64 arrays.
+
+        The compressed-page counterpart of :meth:`cached_keys`
+        (DESIGN.md Section 16): compressed columns cannot be aliased
+        zero-copy like a raw key column, so the decoded arrays are
+        memoized per frame under the same identity contract — a hit
+        requires the stored bytes object to be *identical* (``is``) to
+        ``data``, and every write path produces a new bytes object, so
+        the same eviction hooks that bound :meth:`cached_keys` memory
+        make a stale decode unreachable by construction.  Decoding is
+        pure CPU over bytes already charged by the caller's read, so
+        cache hits never change ``StorageStats``.
+        """
+        return self.cached_meta(file, block_no, data,
+                                lambda raw: codec.decode_arrays(raw, offset))
+
     def _drop_cached_keys(self, file_name: str, block_no: int) -> None:
         self._key_cache.pop((file_name, block_no), None)
         self._meta_cache.pop((file_name, block_no), None)

@@ -1,0 +1,208 @@
+"""Property tests for the leaf-page codecs (DESIGN.md Section 16).
+
+Every codec must round-trip arbitrary sorted-unique uint64 key sets with
+arbitrary uint64 payloads — including the adversarial shapes the
+encoders special-case: key 0, key 2^64-1, dense consecutive runs, huge
+gaps (which widen FoR columns), single-entry pages and pages packed to
+the count ceiling.  The scalar ``decode`` and vectorized
+``decode_arrays`` paths must agree with each other and with the
+:class:`RawCodec` reading its own encoding of the same items, and
+``pack_greedy`` must respect its byte budget exactly.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import numpy as np
+
+from repro.core.codecs import (
+    CODEC_NAMES,
+    KIND_ENTRIES,
+    KIND_KEYS,
+    PAGE_HEADER_SIZE,
+    DeltaVarintCodec,
+    FoRCodec,
+    RawCodec,
+    codec_id_of,
+    get_codec,
+)
+
+U64_MAX = 2**64 - 1
+COMPRESSED = ("delta", "for")
+
+
+def _items_from(keys, payloads):
+    keys = sorted(set(keys))
+    return [(key, payloads[i % len(payloads)]) for i, key in enumerate(keys)]
+
+
+#: Sorted-unique key sets biased toward the adversarial shapes: the
+#: extremes of the domain, dense consecutive runs, and huge gaps.
+sorted_keys = st.one_of(
+    st.lists(st.integers(0, U64_MAX), min_size=1, max_size=120,
+             unique=True).map(sorted),
+    st.builds(lambda start, n: list(range(start, start + n)),
+              st.integers(0, U64_MAX - 400), st.integers(1, 300)),
+    st.just([0]), st.just([U64_MAX]), st.just([0, U64_MAX]),
+    st.just([0, 1, 2, U64_MAX - 2, U64_MAX - 1, U64_MAX]),
+)
+
+payload_lists = st.lists(st.integers(0, U64_MAX), min_size=1, max_size=8)
+
+
+@settings(max_examples=60, deadline=None)
+@given(sorted_keys, payload_lists, st.sampled_from(COMPRESSED))
+def test_entries_roundtrip(keys, payloads, name):
+    codec = get_codec(name)
+    items = _items_from(keys, payloads)
+    page = codec.encode(items)
+    assert len(page) == codec.encoded_size(items)
+    assert codec_id_of(page) == codec.codec_id
+    assert codec.page_count(page) == len(items)
+    assert codec.decode(page) == items
+
+    got_keys, got_payloads = codec.decode_arrays(page)
+    raw_page = RawCodec().encode(items)
+    raw_keys, raw_payloads = RawCodec().decode_arrays(raw_page, count=len(items))
+    assert np.array_equal(got_keys, raw_keys)
+    assert np.array_equal(got_payloads, raw_payloads)
+
+
+@settings(max_examples=60, deadline=None)
+@given(sorted_keys, st.sampled_from(COMPRESSED))
+def test_keys_roundtrip(keys, name):
+    codec = get_codec(name)
+    keys = sorted(set(keys))
+    page = codec.encode_keys(keys)
+    assert codec.decode_keys(page).tolist() == keys
+    # Offset decoding: the same page embedded mid-buffer.
+    shifted = b"\xEE" * 13 + page
+    assert codec.decode_keys(shifted, offset=13).tolist() == keys
+
+
+@settings(max_examples=60, deadline=None)
+@given(sorted_keys, payload_lists, st.sampled_from(COMPRESSED),
+       st.integers(64, 4096))
+def test_pack_greedy_respects_budget(keys, payloads, name, budget):
+    codec = get_codec(name)
+    items = _items_from(keys, payloads)
+    taken = codec.pack_greedy(items, 0, budget)
+    assert 1 <= taken <= len(items)
+    if taken > 1:
+        assert codec.encoded_size(items[:taken]) <= budget
+    if taken < len(items):
+        assert codec.encoded_size(items[:taken + 1]) > budget
+    assert taken <= codec.max_entries(budget)
+
+
+@settings(max_examples=40, deadline=None)
+@given(sorted_keys, st.sampled_from(COMPRESSED), st.integers(32, 4096))
+def test_pack_keys_greedy_respects_budget(keys, name, budget):
+    codec = get_codec(name)
+    keys = sorted(set(keys))
+    taken = codec.pack_keys_greedy(keys, 0, budget)
+    assert 1 <= taken <= len(keys)
+    if taken < len(keys):
+        page = codec.encode_keys(keys[:taken + 1])
+        assert len(page) > budget
+
+
+@pytest.mark.parametrize("name", COMPRESSED)
+def test_empty_pages(name):
+    codec = get_codec(name)
+    page = codec.encode([])
+    assert len(page) == PAGE_HEADER_SIZE
+    assert codec.decode(page) == []
+    got_keys, got_payloads = codec.decode_arrays(page)
+    assert len(got_keys) == 0 and len(got_payloads) == 0
+    assert codec.decode_keys(codec.encode_keys([])).tolist() == []
+
+
+@pytest.mark.parametrize("name", COMPRESSED)
+def test_page_count_ceiling_is_enforced(name):
+    codec = get_codec(name)
+    too_many = [(k, k) for k in range(0x10000)]
+    with pytest.raises(ValueError):
+        codec.encode(too_many)
+    with pytest.raises(ValueError):
+        codec.encode_keys(list(range(0x10000)))
+    exactly = [(k, k + 1) for k in range(0xFFFF)]
+    assert codec.decode(codec.encode(exactly)) == exactly
+
+
+def test_payload_residual_wraparound():
+    """Zigzag residuals must survive payloads far below/above their key,
+    including the mod-2^64 wraparound cases."""
+    items = [(0, U64_MAX), (1, 0), (2**63, 0), (U64_MAX - 1, 1), (U64_MAX, U64_MAX)]
+    for name in COMPRESSED:
+        codec = get_codec(name)
+        assert codec.decode(codec.encode(items)) == items
+        _keys, got = codec.decode_arrays(codec.encode(items))
+        assert got.tolist() == [payload for _, payload in items]
+
+
+def test_header_codec_id_mismatch_detected():
+    delta, for_ = DeltaVarintCodec(), FoRCodec()
+    page = delta.encode([(1, 2), (5, 6)])
+    with pytest.raises(ValueError, match="codec id"):
+        for_.decode(page)
+    with pytest.raises(ValueError, match="codec id"):
+        for_.page_count(page)
+    assert codec_id_of(page) == delta.codec_id
+
+
+@pytest.mark.parametrize("name", COMPRESSED)
+def test_header_kind_mismatch_detected(name):
+    codec = get_codec(name)
+    entries_page = codec.encode([(1, 2)])
+    keys_page = codec.encode_keys([1, 2, 3])
+    with pytest.raises(ValueError, match="kind"):
+        codec.decode_keys(entries_page)
+    with pytest.raises(ValueError, match="kind"):
+        codec.decode(keys_page)
+    assert entries_page[1] == KIND_ENTRIES
+    assert keys_page[1] == KIND_KEYS
+
+
+def test_raw_codec_is_headerless_and_byte_stable():
+    """Raw pages are the legacy 16-byte-slot layout: no framing header,
+    so decoding demands an explicit count."""
+    raw = RawCodec()
+    items = [(3, 4), (7, 8)]
+    page = raw.encode(items)
+    assert len(page) == 32  # exactly two 16-byte slots, no header
+    assert raw.decode(page, count=2) == items
+    for call in (lambda: raw.decode(page), lambda: raw.decode_arrays(page),
+                 lambda: raw.decode_keys(raw.encode_keys([1, 2]))):
+        with pytest.raises(ValueError, match="count"):
+            call()
+    assert raw.pack_greedy(items, 0, 4096) == 2
+    assert raw.pack_keys_greedy([1, 2, 3], 0, 8) == 1
+    assert raw.max_entries(4096) == 256
+
+
+def test_registry():
+    assert CODEC_NAMES == ("raw", "delta", "for")
+    for name in CODEC_NAMES:
+        codec = get_codec(name)
+        assert codec.name == name
+        assert get_codec(codec) is codec  # instances pass through
+    assert get_codec("raw").is_raw and not get_codec("for").is_raw
+    with pytest.raises(ValueError, match="unknown codec"):
+        get_codec("zstd")
+
+
+def test_compression_wins_on_paper_shaped_data():
+    """The headline density claim at page granularity: uniform 62-bit
+    keys with ``payload = key + 1``.  FoR clears 2x outright; delta
+    hovers at the bar (a ~7-byte LEB128 delta + 1-byte residual vs 16),
+    so it gets a slightly softer floor here — bench_compression gates
+    the full end-to-end ratio on FoR only for the same reason."""
+    import random
+    rng = random.Random(5)
+    keys = sorted(rng.randrange(2**62) for _ in range(20000))
+    items = [(key, key + 1) for key in keys]
+    raw_size = RawCodec().encoded_size(items)
+    assert get_codec("for").encoded_size(items) * 2 <= raw_size
+    assert get_codec("delta").encoded_size(items) * 1.9 <= raw_size
