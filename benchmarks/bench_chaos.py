@@ -1,0 +1,79 @@
+"""Chaos benchmark: fault-tolerant serving under injected member faults.
+
+Beyond the paper: one replica member per shard runs on degrading media
+(seeded per-member fault forks — transient errors, bit rot, stalls)
+while hedged reads, replica health tracking, live primary failover,
+per-op deadlines and the write admission gate keep the tier serving
+(DESIGN.md Section 17).  Rows are archived as the usual text table and
+as ``BENCH_chaos.json`` for the CI chaos-smoke job.
+
+The gates pin the PR's acceptance bar:
+
+* zero lost acknowledged writes at every fault rate (the experiment
+  audits every durable insert record against the serving primary);
+* zero-rate rows are counter-clean — no hedges, failovers, sheds or
+  quarantines fire without faults, and the experiment itself asserts
+  the charged counters bit-identical to a tier built without any of
+  the fault machinery;
+* with hedging on, serving p99 against a degraded/quarantined replica
+  stays within 3x of the same cell's fault-free p99;
+* the crash sections actually exercised their paths: a crashed replica
+  hedged at least one read and rejoined via catch-up resync, and a
+  crashed primary triggered at least one live failover.
+"""
+
+import json
+
+from conftest import RESULTS_DIR, run_and_emit
+
+#: Serving p99 with a faulted replica must stay within this factor of
+#: the same cell's fault-free p99 (hedging + quarantine bound the tail).
+P99_FACTOR = 3.0
+
+
+def test_chaos(benchmark, request):
+    replicas = max(2, request.config.getoption("--replicas"))
+    result = run_and_emit(benchmark, "chaos",
+                          replica_counts=tuple(sorted({2, replicas})))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_chaos.json").write_text(
+        json.dumps({"experiment": result.experiment_id, "rows": result.rows},
+                   indent=2))
+
+    # -- zero lost acknowledged writes, everywhere ---------------------
+    for row in result.rows:
+        assert row.get("lost_acked", 0) == 0, row
+
+    sweep = [r for r in result.rows if r["section"] == "sweep"]
+    assert sweep
+
+    # -- zero-rate rows are counter-clean ------------------------------
+    # The experiment already asserted charged-counter bit-identity
+    # against a control tier without the fault machinery; the archived
+    # rows re-assert the visible half so the JSON is self-certifying.
+    for row in sweep:
+        if row["fault_rate"] == 0.0:
+            for counter in ("io_retries", "hedged_reads", "failovers",
+                            "shed_ops", "op_retries", "quarantined",
+                            "resyncs", "reseeds", "resync_blocks"):
+                assert row[counter] == 0, (counter, row)
+            assert row["p99_vs_clean"] == 1.0, row
+
+    # -- hedging bounds the degraded tail ------------------------------
+    for row in sweep:
+        if row["fault_rate"] > 0.0:
+            assert row["p99_vs_clean"] is not None, row
+            assert row["p99_vs_clean"] <= P99_FACTOR, row
+
+    # -- the failure-mode sections fired -------------------------------
+    resync_rows = [r for r in result.rows if r["section"] == "resync"]
+    assert resync_rows
+    for row in resync_rows:
+        assert row["hedged_reads"] >= 1, row
+        assert row["resyncs"] >= 1, row
+        assert row["resync_blocks"] > 0, row
+    failover_rows = [r for r in result.rows if r["section"] == "failover"]
+    assert failover_rows
+    for row in failover_rows:
+        assert row["failovers"] >= 1, row
+        assert row["acked_writes"] > 0, row

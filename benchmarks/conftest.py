@@ -29,6 +29,12 @@ def pytest_addoption(parser):
              "range-partitioned tier with this many shards; 1 (default) "
              "keeps the flat single-index path")
     parser.addoption(
+        "--replicas", action="store", type=int, default=3,
+        help="replica count (primary included) for the replica-aware "
+             "benchmarks: bench_sharding's fan-out section compares 1 vs "
+             "this many copies, and bench_chaos serves its fault sweep "
+             "from tiers replicated this wide")
+    parser.addoption(
         "--wallclock", action="store_true",
         help="gate on real wall-clock assertions (bench_wallclock speedup "
              "floors and the archived-baseline ratchet); without it only "

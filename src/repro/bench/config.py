@@ -233,6 +233,8 @@ def fresh_sharded_index(index_names, shards: Optional[int], dataset: str,
                         replica_policy: str = "round_robin",
                         durability: bool = False,
                         wal_group_commit: Optional[int] = None,
+                        hedge_us: Optional[float] = None,
+                        quarantine_after: int = 2,
                         lookup_distribution: str = "uniform",
                         zipf_s: float = 0.99) -> IndexSetup:
     """Build a range-partitioned :class:`repro.sharding.ShardedIndex` cell.
@@ -271,6 +273,7 @@ def fresh_sharded_index(index_names, shards: Optional[int], dataset: str,
         durability=durability,
         group_commit=(wal_group_commit if wal_group_commit is not None
                       else scale.group_commit),
+        hedge_us=hedge_us, quarantine_after=quarantine_after,
         profile=profile, block_size=block_size or scale.block_size,
         buffer_blocks=buffer_blocks)
     bulkload_us = bulk_load_timed(index, bulk_items)

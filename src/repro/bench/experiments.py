@@ -1003,7 +1003,8 @@ def _tuner_ops(partition, loaded, withheld, num_ops: int, seed: int):
 
 def exp_sharding(scale: Optional[Scale] = None,
                  shard_counts: Sequence[int] = (1, 2, 4, 8, 16),
-                 buffer_blocks: Optional[int] = None) -> ExperimentResult:
+                 buffer_blocks: Optional[int] = None,
+                 replica_counts: Sequence[int] = (1, 3)) -> ExperimentResult:
     """Sharded-tier sweep (DESIGN.md Section 14), three sections of rows.
 
     ``scaleout``: uniform B+-tree tier, 1 -> 16 shards x {HDD, SSD} x
@@ -1012,9 +1013,10 @@ def exp_sharding(scale: Optional[Scale] = None,
     shard count and charged read positionings per op fall — the
     scale-out effect a partitioned disk-resident tier buys.
 
-    ``replicas``: 4-shard tier, 1 vs 3 copies under round-robin read
-    fan-out (no pools, so every copy charges identical per-op work):
-    read fan-out must not hurt tail latency.
+    ``replicas``: 4-shard tier, sweeping ``replica_counts`` copies under
+    round-robin read fan-out (no pools, so every copy charges identical
+    per-op work): read fan-out must not hurt tail latency.  The
+    benchmark wrapper's ``--replicas`` flag widens this sweep.
 
     ``tuner``: a 3-shard tier under a skewed mixed stream (one shard
     read-only, one read-heavy, one write-heavy).  The workload-aware
@@ -1072,7 +1074,7 @@ def exp_sharding(scale: Optional[Scale] = None,
     # -- section 2: replica read fan-out ------------------------------------
     from .config import fresh_sharded_index
 
-    for replicas in (1, 3):
+    for replicas in replica_counts:
         setup = fresh_sharded_index(
             "btree", 4, "ycsb", "lookup_only", scale, profile=PROFILES["hdd"],
             replicas=replicas)
@@ -1147,6 +1149,307 @@ def exp_sharding(scale: Optional[Scale] = None,
 
 
 # ---------------------------------------------------------------------------
+# Extension — fault-tolerant serving under member faults (DESIGN.md §17)
+# ---------------------------------------------------------------------------
+
+def _chaos_counters(res) -> dict:
+    """The charged counters the zero-rate identity check compares.
+
+    Every field here moves if the fault-tolerance machinery charges a
+    single extra block or microsecond on the clean path — bit-equality
+    against a run without that machinery is the no-overhead proof.
+    """
+    return {
+        "sim_elapsed_us": res.sim_elapsed_us,
+        "p50_latency_us": res.p50_latency_us,
+        "p99_latency_us": res.p99_latency_us,
+        "blocks_read_per_op": res.blocks_read_per_op,
+        "blocks_written_per_op": res.blocks_written_per_op,
+        "read_positionings": res.read_positionings,
+        "write_positionings": res.write_positionings,
+        "io_retries": res.io_retries,
+        "checksum_failures": res.checksum_failures,
+        "log_records": res.log_records,
+        "log_flushes": res.log_flushes,
+        "committed_writes": res.committed_writes,
+        "num_ops": res.num_ops,
+    }
+
+
+def _audit_acked_writes(index) -> dict:
+    """Zero-lost-acknowledged-writes audit over a durable sharded tier.
+
+    An acknowledged write is one whose WAL record the group commit made
+    durable before the client unblocked, so acked ⊆ durable; with
+    member faults confined to replicas (the log device is excluded by
+    the fault model, and a faulted primary fails over through log
+    catch-up) every durable record is also applied.  The audit therefore
+    checks the *stronger* claim: every durable insert record is readable
+    with its exact payload on the shard's current primary.  Lookups here
+    run after measurement, so their charges do not pollute the rows.
+    """
+    durable_inserts = 0
+    lost = 0
+    for shard in index.shards:
+        if shard.wal is None:
+            continue
+        for record in shard.wal.durable_records():
+            if record.op != "insert":
+                continue
+            durable_inserts += 1
+            if shard.lookup(record.key) != record.payload:
+                lost += 1
+    return {"durable_inserts": durable_inserts, "lost": lost}
+
+
+def exp_chaos(scale: Optional[Scale] = None,
+              fault_rates: Sequence[float] = (0.0, 1e-3, 1e-2),
+              replica_counts: Sequence[int] = (2, 3),
+              clients: int = 4,
+              crash_after: int = 150) -> ExperimentResult:
+    """Fault-tolerant serving under per-member faults (DESIGN.md §17).
+
+    ``sweep``: a 2-shard durable B+-tree tier, ``replicas`` copies per
+    shard, Balanced workload over ``clients`` sessions, on HDD and SSD.
+    One replica member per shard runs on degrading media — a per-member
+    fork of one seeded fault model injects transient errors, bit rot
+    and stalls at the swept rate (the WAL is excluded; the primary is
+    clean).  Hedged reads, per-op deadlines, a retry budget and the
+    write admission gate are all armed.  Every row asserts zero lost
+    acknowledged writes and full op accounting (served + shed = dealt);
+    the zero-rate row additionally asserts *bit-identical* charged
+    counters against a control tier built without any of the fault
+    machinery — robustness costs nothing until a fault fires.  After
+    measurement, quarantined members rejoin via catch-up resync (or
+    re-seed when damaged) and the row records which.
+
+    ``resync``: a *replica* crashes after ``crash_after`` charged
+    reads, surfaced through the read rotation — the discovering read
+    hedges to a healthy peer (charged, still answered) and the member
+    is quarantined out of rotation with its data intact.  The mixed
+    stream then serves degraded; afterwards the crash is cleared and
+    the member rejoins by replaying the WAL suffix it missed (charged,
+    byte-verified catch-up resync), asserted to beat the full re-seed
+    path.
+
+    ``failover``: same tier shape, but the whole-member fault is on the
+    *primary* — it crashes after ``crash_after`` charged reads, the
+    freshest replica is promoted live, and the row asserts the promotion
+    happened with zero lost acknowledged writes.
+    """
+    from ..storage import DeviceFaultModel
+    from .config import fresh_sharded_index
+
+    scale = scale or default_scale()
+    result = ExperimentResult(
+        "chaos",
+        "Fault tolerance: replica health, hedged reads, live failover "
+        "under injected member faults")
+
+    def build(profile_name, replicas, chaos):
+        profile = PROFILES[profile_name]
+        extra = {}
+        if chaos:
+            # Hedge budget: two exponential-backoff retries on the slow
+            # member, then re-issue to a healthy peer.
+            extra = dict(hedge_us=3 * profile.read_positioning_us,
+                         quarantine_after=2)
+        return fresh_sharded_index(
+            "btree", 2, "ycsb", "balanced", scale, profile=profile,
+            replicas=replicas, durability=True,
+            wal_group_commit=scale.group_commit, **extra)
+
+    # Deadlines sized to each device's tail: p50 clears them, a stalled
+    # or faulted op does not — so misses measure degradation, not noise.
+    deadlines = {"hdd": 150_000.0, "ssd": 2_000.0}
+
+    def serve(setup, profile_name, chaos):
+        extra = {}
+        if chaos:
+            extra = dict(deadline_us=deadlines[profile_name],
+                         retry_budget=3, max_inflight_writes=64)
+        return run_workload(setup.index, setup.ops, workload="balanced",
+                            clients=clients, validate=True, **extra)
+
+    # -- section 1: fault-rate sweep on one replica member -------------------
+    for profile_name in ("hdd", "ssd"):
+        for replicas in replica_counts:
+            p99_clean = None
+            for rate in fault_rates:
+                setup = build(profile_name, replicas, chaos=True)
+                parent = DeviceFaultModel(
+                    seed=scale.seed,
+                    transient_error_rate=rate,
+                    bit_rot_rate=rate / 2,
+                    stall_rate=rate / 2,
+                    stall_us=(5 * PROFILES[profile_name].read_positioning_us
+                              if rate else 0.0))
+                for shard in setup.index.shards:
+                    victim = shard.replicas[0]
+                    victim.device.fault_model = parent.fork(
+                        shard.shard_id + 1)
+                res = serve(setup, profile_name, chaos=True)
+                if rate == 0.0:
+                    # The no-overhead proof: with every fault rate zero,
+                    # the armed tier charges bit-identically to a tier
+                    # built without the fault machinery at all.
+                    control = serve(build(profile_name, replicas,
+                                          chaos=False),
+                                    profile_name, chaos=False)
+                    mine, theirs = _chaos_counters(res), _chaos_counters(control)
+                    if mine != theirs:
+                        raise AssertionError(
+                            f"zero-rate chaos run diverged from control: "
+                            f"{mine} != {theirs}")
+                    p99_clean = res.p99_latency_us
+                audit = _audit_acked_writes(setup.index)
+                if audit["lost"]:
+                    raise AssertionError(
+                        f"{audit['lost']} acknowledged writes lost at "
+                        f"rate={rate} ({profile_name}, {replicas} replicas)")
+                unaccounted = len(setup.ops) - res.num_ops - res.shed_ops
+                if unaccounted:
+                    raise AssertionError(
+                        f"{unaccounted} ops neither completed nor shed at "
+                        f"rate={rate} ({profile_name}, {replicas} replicas)")
+                quarantined = sum(
+                    states.count("quarantined")
+                    for states in setup.index.health_summary().values())
+                rejoined = setup.index.rejoin_quarantined()
+                result.rows.append({
+                    "section": "sweep", "device": profile_name,
+                    "replicas": replicas, "fault_rate": rate,
+                    "ops_per_s": round(res.throughput_ops_per_s, 1)
+                        if math.isfinite(res.throughput_ops_per_s) else 0.0,
+                    "p50_us": round(res.p50_latency_us, 1),
+                    "p99_us": round(res.p99_latency_us, 1),
+                    "p99_vs_clean": round(
+                        res.p99_latency_us / p99_clean, 3)
+                        if p99_clean else None,
+                    "io_retries": res.io_retries,
+                    "hedged_reads": res.hedged_reads,
+                    "failovers": res.failovers,
+                    "shed_ops": res.shed_ops,
+                    "op_retries": res.op_retries,
+                    "deadline_misses": res.deadline_misses,
+                    "quarantined": quarantined,
+                    "resyncs": rejoined["resync"],
+                    "reseeds": rejoined["reseed"],
+                    "resync_blocks": setup.index.resync_blocks,
+                    "acked_writes": res.committed_writes,
+                    "durable_inserts": audit["durable_inserts"],
+                    "lost_acked": audit["lost"],
+                })
+
+    # -- section 2: replica crash, hedged reads, catch-up resync -------------
+    for profile_name in ("hdd", "ssd"):
+        setup = build(profile_name, 2, chaos=True)
+        parent = DeviceFaultModel(seed=scale.seed, crash_after=crash_after)
+        forks, victims = [], []
+        for shard in setup.index.shards:
+            fork = parent.fork(200 + shard.shard_id)
+            shard.replicas[0].device.fault_model = fork
+            forks.append(fork)
+            victims.append(shard.replicas[0])
+        # Surface the crash through the *read rotation*: lookups
+        # alternate onto the doomed member until its countdown expires
+        # mid-read.  Discovery-by-read matters — the fault is absorbed
+        # as a hedged re-issue (charged, the caller still gets its
+        # answer) and the member leaves the rotation untainted, which
+        # is what qualifies it for the cheap log-suffix resync below.
+        # Left to the mixed stream, the crash can instead surface on a
+        # write being shipped mid-apply; that taints the copy and
+        # forces the full re-seed — a different (also correct) path,
+        # but not the one this section measures.
+        lookup_keys = [op[1] for op in setup.ops if op[0] == "lookup"]
+        for i in range(100 * crash_after):
+            if all(v.health.state == "quarantined" for v in victims):
+                break
+            setup.index.lookup(lookup_keys[i % len(lookup_keys)])
+        else:
+            raise AssertionError(
+                f"replica crash never surfaced on the read rotation "
+                f"({profile_name})")
+        if setup.index.hedged_reads < 1:
+            raise AssertionError(
+                f"replica crash produced no hedged reads ({profile_name})")
+        # The measured segment then serves the full mixed stream with
+        # the member quarantined, accumulating the WAL suffix it missed.
+        res = serve(setup, profile_name, chaos=True)
+        audit = _audit_acked_writes(setup.index)
+        if audit["lost"]:
+            raise AssertionError(
+                f"{audit['lost']} acknowledged writes lost with a crashed "
+                f"replica ({profile_name})")
+        # The crash quarantined the replica through the read path (its
+        # writes were clean), so after the operator swaps the enclosure
+        # it rejoins by replaying the missed WAL suffix — not a re-seed.
+        for fork in forks:
+            fork.clear_crash()
+        resync_blocks_before = setup.index.resync_blocks
+        rejoined = setup.index.rejoin_quarantined()
+        if rejoined["resync"] < 1:
+            raise AssertionError(
+                f"crashed replica did not rejoin via catch-up resync "
+                f"({profile_name}): {rejoined}")
+        result.rows.append({
+            "section": "resync", "device": profile_name, "replicas": 2,
+            "crash_after_reads": crash_after,
+            "hedged_reads": setup.index.hedged_reads,
+            "failovers": res.failovers,
+            "p99_us": round(res.p99_latency_us, 1),
+            "resyncs": rejoined["resync"],
+            "reseeds": rejoined["reseed"],
+            "resync_blocks": setup.index.resync_blocks
+                - resync_blocks_before,
+            "acked_writes": res.committed_writes,
+            "lost_acked": audit["lost"],
+        })
+
+    # -- section 3: primary crash and live failover ---------------------------
+    for profile_name in ("hdd", "ssd"):
+        setup = build(profile_name, 3, chaos=True)
+        parent = DeviceFaultModel(seed=scale.seed, crash_after=crash_after)
+        for shard in setup.index.shards:
+            shard.primary.device.fault_model = parent.fork(
+                100 + shard.shard_id)
+        res = serve(setup, profile_name, chaos=True)
+        if res.failovers < 1:
+            raise AssertionError(
+                f"primary crash_after={crash_after} triggered no failover "
+                f"({profile_name})")
+        audit = _audit_acked_writes(setup.index)
+        if audit["lost"]:
+            raise AssertionError(
+                f"{audit['lost']} acknowledged writes lost across failover "
+                f"({profile_name})")
+        result.rows.append({
+            "section": "failover", "device": profile_name, "replicas": 3,
+            "crash_after_reads": crash_after,
+            "failovers": res.failovers,
+            "hedged_reads": res.hedged_reads,
+            "shed_ops": res.shed_ops,
+            "p99_us": round(res.p99_latency_us, 1),
+            "acked_writes": res.committed_writes,
+            "durable_inserts": audit["durable_inserts"],
+            "lost_acked": audit["lost"],
+        })
+
+    result.notes = (
+        "sweep: faults (transient + bit rot + stalls, seeded per-member "
+        "forks) hit one replica per shard; soft strikes suspend it, "
+        "repeats quarantine it out of the read rotation, and hedged "
+        "reads re-issue slow/faulted reads to healthy peers, bounding "
+        "p99. The zero-rate row is asserted bit-identical to a tier "
+        "without the fault machinery. failover: the primary crashes "
+        "mid-run; the freshest replica is promoted with the WAL redone "
+        "on its device, and no acknowledged write is lost. Quarantined "
+        "members rejoin by replaying the missed log suffix (resync), "
+        "falling back to a full re-seed when byte verification fails.")
+    return result
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -1174,6 +1477,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fault_sweep": exp_fault_sweep,
     "concurrency": exp_concurrency,
     "sharding": exp_sharding,
+    "chaos": exp_chaos,
 }
 
 

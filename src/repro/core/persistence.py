@@ -51,11 +51,16 @@ def save_index(index: DiskIndex, target: Union[str, BinaryIO]) -> None:
 
 
 def load_index(source: Union[str, BinaryIO],
-               profile: Optional[DiskProfile] = None) -> DiskIndex:
+               profile: Optional[DiskProfile] = None,
+               pager_kwargs: Optional[dict] = None) -> DiskIndex:
     """Reopen an index persisted with :func:`save_index`.
 
     ``profile`` optionally overrides the stored latency model — e.g. to
-    replay an HDD-built index on the SSD cost model.
+    replay an HDD-built index on the SSD cost model.  ``pager_kwargs``
+    configures the rebuilt :class:`Pager` (buffer pool, write-back,
+    flush watermark): an image only captures device bytes, so callers
+    that want the reopened index to keep its original storage
+    configuration must pass it back in.
     """
     own = isinstance(source, str)
     stream: BinaryIO = open(source, "rb") if own else source
@@ -66,6 +71,7 @@ def load_index(source: Union[str, BinaryIO],
     finally:
         if own:
             stream.close()
-    index = make_index(meta["kind"], Pager(device), **meta["params"])
+    index = make_index(meta["kind"], Pager(device, **(pager_kwargs or {})),
+                       **meta["params"])
     index.restore_meta(meta["state"])
     return index

@@ -81,13 +81,18 @@ def take_checkpoint(index: DiskIndex, wal: Optional[WriteAheadLog] = None) -> Ch
 
 
 def recover(checkpoint: Checkpoint, wal: WriteAheadLog,
-            profile: Optional[DiskProfile] = None) -> RecoveryResult:
+            profile: Optional[DiskProfile] = None,
+            pager_kwargs: Optional[dict] = None) -> RecoveryResult:
     """Rebuild a post-crash index: checkpoint image + WAL redo.
 
     Args:
         checkpoint: taken before the crash with :func:`take_checkpoint`.
         wal: the crashed run's log (its device holds the durable blocks).
         profile: optionally recover onto a different latency model.
+        pager_kwargs: storage configuration (buffer pool, write-back,
+            flush watermark) for the rebuilt index's pager, so recovery
+            hands back an index with the same caching behavior it
+            crashed with rather than bare pass-through defaults.
     """
     # 1. Scan the surviving log prefix off the crashed device.
     scan_start = wal.pager.stats.elapsed_us
@@ -95,7 +100,8 @@ def recover(checkpoint: Checkpoint, wal: WriteAheadLog,
     wal_scan_us = wal.pager.stats.elapsed_us - scan_start
 
     # 2. Reopen the checkpoint image on a fresh device.
-    index = load_index(io.BytesIO(checkpoint.image), profile=profile)
+    index = load_index(io.BytesIO(checkpoint.image), profile=profile,
+                       pager_kwargs=pager_kwargs)
     device = index.pager.device
     # The image carries the log as it stood at checkpoint time; that copy
     # is stale (replay works off the crashed device) so reclaim it.

@@ -212,8 +212,12 @@ class WriteAheadLog:
         to serve (its checksum envelope is stale — the torn tail mutated
         bytes behind the device's back — or the medium is bad) cuts the
         log the same way.
+
+        The first record anchors the expected sequence: a log rebuilt
+        mid-history (post-recovery appends, a failover's re-written log)
+        starts above 1, and its prefix is just as valid.
         """
-        expected = 1
+        expected = None
         with self.pager.phase("log"):
             for block_no in range(self.file.num_blocks):
                 try:
@@ -228,6 +232,8 @@ class WriteAheadLog:
                     return  # torn block: cut the log here
                 for i in range(count):
                     record = LogRecord.unpack(area[i * _RECORD.size:(i + 1) * _RECORD.size])
+                    if expected is None:
+                        expected = record.seqno
                     if record.seqno != expected:
                         return
                     expected += 1

@@ -52,7 +52,12 @@ __all__ = ["Tracer", "TRACE_SCHEMA_VERSION"]
 #: latency under the ``"latch"`` phase, no block transferred — so
 #: :meth:`Tracer.latch_wait` folds them into the span's and the running
 #: ``us_by_phase`` totals the same way, keeping reconciliation bitwise.
-TRACE_SCHEMA_VERSION = 4
+#: 5: added per-span ``failovers``/``hedged_reads``/``resync_blocks``/
+#: ``shed_ops`` (fault-tolerant sharded serving).  All four are pure
+#: counters: their I/O costs (WAL redo, replayed records, re-issued
+#: reads) flow through the per-access hook and the existing
+#: ``io_retry`` latency path, so the exactness invariant is unchanged.
+TRACE_SCHEMA_VERSION = 5
 
 
 def _blank_span(type_: str) -> dict:
@@ -78,6 +83,10 @@ def _blank_span(type_: str) -> dict:
         "repaired_blocks": 0,
         "latch_waits": 0,
         "latch_wait_us": 0.0,
+        "failovers": 0,
+        "hedged_reads": 0,
+        "resync_blocks": 0,
+        "shed_ops": 0,
     }
 
 
@@ -205,7 +214,9 @@ class Tracer:
                       "wal_records", "wal_flushes",
                       "flushes", "flushed_blocks", "dirty_evictions",
                       "io_retries", "checksum_failures", "repaired_blocks",
-                      "latch_waits", "latch_wait_us"):
+                      "latch_waits", "latch_wait_us",
+                      "failovers", "hedged_reads", "resync_blocks",
+                      "shed_ops"):
             agg[field] += event[field]
         self.dropped_ops += 1
 
@@ -308,6 +319,30 @@ class Tracer:
         """The repair path rewrote ``count`` corrupt blocks from redo."""
         span = self._current if self._current is not None else self._background
         span["repaired_blocks"] += count
+
+    def failover(self) -> None:
+        """A shard promoted a replica after quarantining its primary.
+
+        Pure counter: the failover's WAL scan, redo and log rebuild all
+        charge through :meth:`_on_access` as ordinary block I/O.
+        """
+        span = self._current if self._current is not None else self._background
+        span["failovers"] += 1
+
+    def hedged_read(self) -> None:
+        """A read was re-issued on another healthy replica."""
+        span = self._current if self._current is not None else self._background
+        span["hedged_reads"] += 1
+
+    def resync(self, blocks: int) -> None:
+        """Catch-up resync replayed the missed WAL suffix from ``blocks``."""
+        span = self._current if self._current is not None else self._background
+        span["resync_blocks"] += blocks
+
+    def shed_op(self) -> None:
+        """The serving engine rejected an op at the admission gate."""
+        span = self._current if self._current is not None else self._background
+        span["shed_ops"] += 1
 
     # -- export ------------------------------------------------------------
 

@@ -51,6 +51,14 @@ class Session:
         #: snapshot reads that suppressed a not-yet-durable key.
         self.snapshot_suppressed = 0
         self.committed_writes = 0
+        #: ops rejected at admission or dropped after the retry budget
+        #: ran out — consumed from the queue but never completed.
+        self.shed_ops = 0
+        #: completed ops whose client-perceived latency exceeded the
+        #: engine's per-op deadline (the op still completed).
+        self.deadline_misses = 0
+        #: storage-fault re-executions drawn from this client's budget.
+        self.retries_used = 0
         #: global dispatch index of each of this session's dispatches —
         #: the starvation test bounds the largest gap between them.
         self.dispatch_indices: List[int] = []

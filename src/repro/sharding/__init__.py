@@ -20,13 +20,15 @@ from ..storage import HDD, DiskProfile
 from .partition import KEYSPACE_END, RangePartition
 from .rebalance import MigrationReport, Rebalancer
 from .router import Router
-from .shard import REPLICA_POLICIES, Shard, ShardMember
+from .shard import (HEALTH_STATES, MemberHealth, REPLICA_POLICIES, Shard,
+                    ShardMember)
 from .sharded import ShardedIndex, combine_stats, member_prefix
 from .tuner import COST_TABLE, READ_ONLY_CLASSES, ShardTuner
 
 __all__ = [
     "KEYSPACE_END", "RangePartition", "Router", "Shard", "ShardMember",
     "ShardedIndex", "ShardTuner", "Rebalancer", "MigrationReport",
+    "MemberHealth", "HEALTH_STATES",
     "REPLICA_POLICIES", "COST_TABLE", "READ_ONLY_CLASSES",
     "combine_stats", "member_prefix", "make_sharded_index",
 ]
@@ -39,6 +41,8 @@ def make_sharded_index(index_names: Union[str, Sequence[str]],
                        replicas: int = 1,
                        replica_policy: str = "round_robin",
                        durability: bool = False, group_commit: int = 8,
+                       hedge_us: Optional[float] = None,
+                       quarantine_after: int = 2,
                        profile: DiskProfile = HDD, block_size: int = 4096,
                        buffer_blocks: int = 0, buffer_policy: str = "lru",
                        write_back: bool = False,
@@ -62,6 +66,10 @@ def make_sharded_index(index_names: Union[str, Sequence[str]],
         durability: give every shard its own WAL (armed after bulk
             load), making the tier's ``durable_*`` paths and the fan-out
             WAL facade live.
+        hedge_us: read-hedge latency budget (virtual µs) per shard; None
+            disables hedging (reads re-issue only on hard faults).
+        quarantine_after: soft health strikes before a member leaves
+            the read rotation (DESIGN.md Section 17).
         group_commit / profile / block_size / buffer_blocks /
         buffer_policy / write_back / flush_watermark / index_params:
             per-member storage configuration, identical across members.
@@ -100,7 +108,8 @@ def make_sharded_index(index_names: Union[str, Sequence[str]],
     built = [
         Shard(shard_id, name, replicas=replicas,
               replica_policy=replica_policy, durability=durability,
-              group_commit=group_commit, profile=profile,
+              group_commit=group_commit, hedge_us=hedge_us,
+              quarantine_after=quarantine_after, profile=profile,
               block_size=block_size, buffer_blocks=buffer_blocks,
               buffer_policy=buffer_policy, write_back=write_back,
               flush_watermark=flush_watermark, index_params=index_params)

@@ -18,6 +18,13 @@ Every split is counted (batches routed, fan-out width, boundary-crossing
 scans) so the sharding experiment can report routing behaviour, and the
 Hypothesis property test can assert the split/merge round-trip is
 lossless.
+
+Fault tolerance rides through the delegation: every shard-local read
+the router issues goes through :meth:`Shard._serve_read`, so hedged
+re-issues, health strikes and primary failover (DESIGN.md Section 17)
+apply to routed batches and clipped scans exactly as to direct reads —
+the router never sees a quarantined member, only the shard's answer or
+its final ``StorageFault`` when the whole replica group is down.
 """
 
 from __future__ import annotations

@@ -86,7 +86,13 @@ class _FanoutDevice:
 
     @property
     def stats(self) -> StorageStats:
-        return combine_stats(d.stats for d in self._devices())
+        # Retired stats (members replaced by a re-seed) stay in the sum
+        # so the tier's aggregate counters never move backwards across a
+        # membership change.
+        live = [d.stats for d in self._devices()]
+        retired = [s for shard in self._owner.shards
+                   for s in shard.retired_stats]
+        return combine_stats(live + retired)
 
     @property
     def files(self) -> Dict[str, object]:
@@ -328,6 +334,14 @@ class ShardedIndex(DiskIndex):
         self.wal = (_FanoutWal(self)
                     if any(s.durability for s in self.shards) else None)
         self.tracer = None
+        for shard in self.shards:
+            shard.on_members_changed = self._on_members_changed
+
+    def _on_members_changed(self) -> None:
+        """A shard promoted/re-seeded a member: re-install per-member
+        hooks (the access-hook setter is idempotent) so the new member's
+        pager reports under its prefixed name like its predecessor."""
+        self.pager.on_block_access = self.pager.on_block_access
 
     # -- topology ------------------------------------------------------------
 
@@ -342,6 +356,56 @@ class ShardedIndex(DiskIndex):
     def composition(self) -> List[str]:
         """Per-shard index class names, e.g. ``["hybrid-alex", "btree"]``."""
         return [shard.index_name for shard in self.shards]
+
+    # -- fault tolerance (DESIGN.md Section 17) -------------------------------
+
+    @property
+    def failovers(self) -> int:
+        return sum(shard.failovers for shard in self.shards)
+
+    @property
+    def hedged_reads(self) -> int:
+        return sum(shard.hedged_reads for shard in self.shards)
+
+    @property
+    def resyncs(self) -> int:
+        return sum(shard.resyncs for shard in self.shards)
+
+    @property
+    def resync_blocks(self) -> int:
+        return sum(shard.resync_blocks for shard in self.shards)
+
+    @property
+    def reseeds(self) -> int:
+        return sum(shard.reseeds for shard in self.shards)
+
+    @property
+    def member_faults(self) -> int:
+        return sum(shard.member_faults for shard in self.shards)
+
+    def set_hedge(self, hedge_us: Optional[float]) -> None:
+        """Set the read-hedge latency budget on every shard."""
+        for shard in self.shards:
+            shard.hedge_us = hedge_us
+
+    def health_summary(self) -> Dict[int, List[str]]:
+        """Member health per shard, primary first."""
+        return {shard.shard_id: shard.health_states()
+                for shard in self.shards}
+
+    def rejoin_quarantined(self) -> Dict[str, int]:
+        """Rejoin every quarantined *replica* (catch-up resync with
+        re-seed fallback — :meth:`Shard.rejoin`).  A quarantined primary
+        is not touched: it either already failed over (and sits in the
+        replica list, rejoinable here) or has no healthy peer to take
+        over.  Returns ``{"resync": n, "reseed": m}``.
+        """
+        modes = {"resync": 0, "reseed": 0}
+        for shard in self.shards:
+            for member in list(shard.replicas):
+                if member.health.state == "quarantined":
+                    modes[shard.rejoin(member)] += 1
+        return modes
 
     def _owner(self, key: int) -> Shard:
         return self.shards[self.partition.shard_of(key)]
@@ -449,16 +513,27 @@ class ShardedIndex(DiskIndex):
     # -- per-shard reporting (RunResult.per_shard) ----------------------------
 
     def per_shard_snapshot(self) -> List[dict]:
-        """Capture per-member counters; pass to :meth:`per_shard_delta`."""
+        """Capture per-member counters; pass to :meth:`per_shard_delta`.
+
+        Stats and read counts are keyed by member identity, not list
+        position: failover reorders the member list and a re-seed swaps
+        a member out entirely, and a positional diff across either would
+        subtract one device's history from another's.
+        """
         return [
             {
-                "stats": [m.device.stats.snapshot() for m in shard.members()],
+                "stats": {id(m): m.device.stats.snapshot()
+                          for m in shard.members()},
                 "ops": dict(shard.op_counts),
                 "entries_scanned": shard.entries_scanned,
-                "reads_served": [m.reads_served for m in shard.members()],
+                "reads_served": {id(m): m.reads_served
+                                 for m in shard.members()},
                 "shipped_records": shard.shipped_records,
                 "log_records": shard.wal.records_appended if shard.wal else 0,
                 "log_flushes": shard.wal.flushes if shard.wal else 0,
+                "failovers": shard.failovers,
+                "hedged_reads": shard.hedged_reads,
+                "resync_blocks": shard.resync_blocks,
             }
             for shard in self.shards
         ]
@@ -468,12 +543,13 @@ class ShardedIndex(DiskIndex):
         out: Dict[int, dict] = {}
         for shard, before in zip(self.shards, snapshot):
             members = shard.members()
-            # Replica re-seeds (post-recovery) swap member devices; a
-            # fresh device's full stats are its own delta.
+            # Members replaced since the snapshot (re-seeds) start fresh:
+            # a new device's full stats are its own delta.
             deltas = []
-            for j, member in enumerate(members):
-                if j < len(before["stats"]):
-                    deltas.append(member.device.stats.diff(before["stats"][j]))
+            for member in members:
+                earlier = before["stats"].get(id(member))
+                if earlier is not None:
+                    deltas.append(member.device.stats.diff(earlier))
                 else:
                     deltas.append(member.device.stats.snapshot())
             total = combine_stats(deltas)
@@ -495,10 +571,15 @@ class ShardedIndex(DiskIndex):
                 "write_positionings": total.write_positionings,
                 "reads_served": [
                     member.reads_served
-                    - (before["reads_served"][j]
-                       if j < len(before["reads_served"]) else 0)
-                    for j, member in enumerate(members)
+                    - before["reads_served"].get(id(member), 0)
+                    for member in members
                 ],
+                "health": shard.health_states(),
+                "failovers": shard.failovers - before.get("failovers", 0),
+                "hedged_reads":
+                    shard.hedged_reads - before.get("hedged_reads", 0),
+                "resync_blocks":
+                    shard.resync_blocks - before.get("resync_blocks", 0),
                 "shipped_records":
                     shard.shipped_records - before["shipped_records"],
                 "log_records":

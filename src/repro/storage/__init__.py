@@ -9,7 +9,7 @@ and HDD/SSD :class:`DiskProfile` latency models.
 
 from .buffer_pool import BufferPool, ClockBufferPool, FifoBufferPool, make_buffer_pool
 from .device import BlockDevice, BlockFile, StorageStats, PHASES
-from .faults import DeviceFaultModel
+from .faults import DeviceFaultModel, MemberCrashError, MemberStallError
 from .integrity import (ChecksumError, PersistentIOError, ScrubReport,
                         StorageFault, TransientIOError, block_crc)
 from .pager import Pager
@@ -28,6 +28,8 @@ __all__ = [
     "block_crc",
     "DiskProfile",
     "HDD",
+    "MemberCrashError",
+    "MemberStallError",
     "NULL_DEVICE",
     "Pager",
     "PersistentIOError",

@@ -115,6 +115,19 @@ class BufferPool:
     def is_dirty(self, file_name: str, block_no: int) -> bool:
         return (file_name, block_no) in self._dirty
 
+    def peek_dirty(self, file_name: str, block_no: int) -> Optional[bytes]:
+        """The frame's payload iff it is cached *and dirty*, else None.
+
+        Does not touch recency, hit counters or the listener: the caller
+        is consulting the authoritative copy of a not-yet-flushed block
+        (a memory-resident read under a write-back pager), not probing
+        the cache.
+        """
+        key = (file_name, block_no)
+        if key in self._dirty:
+            return self._blocks[key]
+        return None
+
     @property
     def dirty_count(self) -> int:
         return len(self._dirty)

@@ -20,10 +20,22 @@ never faulted):
   the block joins ``bad_blocks`` and every subsequent read raises
   ``PersistentIOError`` until a write remaps it (real drives reallocate
   grown defects on write).
+- **stalls** — with ``stall_rate`` per read, the request hangs for
+  ``stall_us`` of simulated time before timing out
+  (:class:`MemberStallError`, a ``TransientIOError`` carrying the hang).
+  The pager's retry loop charges the hang as latency, so a stalling
+  member is *slow*, not just flaky — the signal hedged reads act on.
+- **whole-member crashes** — ``crash_after=N`` kills the device after
+  its Nth faultable read: every later read raises
+  :class:`MemberCrashError` (a ``PersistentIOError``), modeling a
+  controller/enclosure failure rather than a single grown defect.
 
 All draws come from one seeded ``random.Random``: identical seeds and
 access sequences produce identical fault schedules, which the property
-tests rely on.  ``exclude_files`` (default: the WAL) shields files whose
+tests rely on.  :meth:`DeviceFaultModel.fork` derives per-member child
+models — same rates, independent streams — from one parent seed, so a
+replica group shares a single chaos seed yet each member fails on its
+own schedule.  ``exclude_files`` (default: the WAL) shields files whose
 loss the repair protocol cannot undo — a single-copy log is the
 recovery *source*, not a repair target; production systems mirror it.
 """
@@ -35,7 +47,36 @@ from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 from .integrity import PersistentIOError, TransientIOError
 
-__all__ = ["DeviceFaultModel"]
+__all__ = ["DeviceFaultModel", "MemberCrashError", "MemberStallError"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def _fork_seed(seed: int, member_id: int) -> int:
+    """SplitMix64-style mix of (seed, member_id) into a child seed.
+
+    An integer formula rather than a tuple seed: Python 3.11 removed
+    ``random.Random`` support for non-scalar seeds.
+    """
+    x = (seed * 0x9E3779B97F4A7C15 + member_id + 1) & _MASK64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+class MemberCrashError(PersistentIOError):
+    """The whole device is gone (controller death), not one bad block."""
+
+
+class MemberStallError(TransientIOError):
+    """A read request hung for ``stall_us`` before timing out."""
+
+    def __init__(self, file_name: str, block_no: int, stall_us: float):
+        super().__init__(file_name, block_no,
+                         f"request stalled {stall_us:.0f}us before timeout")
+        self.stall_us = stall_us
 
 
 class DeviceFaultModel:
@@ -45,18 +86,29 @@ class DeviceFaultModel:
                  torn_write_rate: float = 0.0,
                  transient_error_rate: float = 0.0,
                  persistent_error_rate: float = 0.0,
+                 stall_rate: float = 0.0, stall_us: float = 0.0,
+                 crash_after: Optional[int] = None,
                  exclude_files: Iterable[str] = ("wal",)):
         for name, rate in (("bit_rot_rate", bit_rot_rate),
                            ("torn_write_rate", torn_write_rate),
                            ("transient_error_rate", transient_error_rate),
-                           ("persistent_error_rate", persistent_error_rate)):
+                           ("persistent_error_rate", persistent_error_rate),
+                           ("stall_rate", stall_rate)):
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if stall_rate and stall_us <= 0.0:
+            raise ValueError("stall_rate needs a positive stall_us")
+        if crash_after is not None and crash_after < 0:
+            raise ValueError(f"crash_after must be >= 0, got {crash_after}")
+        self.seed = seed
         self.rng = random.Random(seed)
         self.bit_rot_rate = bit_rot_rate
         self.torn_write_rate = torn_write_rate
         self.transient_error_rate = transient_error_rate
         self.persistent_error_rate = persistent_error_rate
+        self.stall_rate = stall_rate
+        self.stall_us = stall_us
+        self.crash_after = crash_after
         self.exclude_files: Set[str] = set(exclude_files)
         #: blocks currently unreadable, as (file_name, block_no)
         self.bad_blocks: Set[Tuple[str, int]] = set()
@@ -64,9 +116,37 @@ class DeviceFaultModel:
         self.injected_torn_writes = 0
         self.injected_transient_errors = 0
         self.injected_persistent_errors = 0
+        self.injected_stalls = 0
+        self.reads_observed = 0
+        self.crashed = False
         #: torn blocks, recorded for test introspection (the device
         #: reports nothing at write time — the fault is silent)
         self.torn_blocks: List[Tuple[str, int]] = []
+
+    def fork(self, member_id: int, **overrides) -> "DeviceFaultModel":
+        """A deterministic per-member child: same rates, independent stream.
+
+        ``member_id`` distinguishes siblings; the child's seed mixes it
+        with the parent seed, so one chaos seed yields one independent
+        fault schedule per :class:`~repro.sharding.shard.ShardMember`.
+        Keyword overrides replace any constructor parameter (e.g. give
+        one member ``crash_after`` while its siblings stay clean).
+        """
+        params = dict(seed=_fork_seed(self.seed, member_id),
+                      bit_rot_rate=self.bit_rot_rate,
+                      torn_write_rate=self.torn_write_rate,
+                      transient_error_rate=self.transient_error_rate,
+                      persistent_error_rate=self.persistent_error_rate,
+                      stall_rate=self.stall_rate, stall_us=self.stall_us,
+                      crash_after=self.crash_after,
+                      exclude_files=set(self.exclude_files))
+        params.update(overrides)
+        return type(self)(**params)
+
+    def clear_crash(self) -> None:
+        """Repair the whole-member fault (operator swapped the enclosure)."""
+        self.crash_after = None
+        self.crashed = False
 
     def applies_to(self, file_name: str) -> bool:
         return file_name not in self.exclude_files
@@ -80,6 +160,11 @@ class DeviceFaultModel:
         """
         if not self.applies_to(file.name):
             return
+        self.reads_observed += 1
+        if self.crashed or (self.crash_after is not None
+                            and self.reads_observed > self.crash_after):
+            self.crashed = True
+            raise MemberCrashError(file.name, block_no, "member crashed")
         key = (file.name, block_no)
         if key in self.bad_blocks:
             raise PersistentIOError(file.name, block_no, "known bad block")
@@ -90,6 +175,9 @@ class DeviceFaultModel:
         if self.transient_error_rate and self.rng.random() < self.transient_error_rate:
             self.injected_transient_errors += 1
             raise TransientIOError(file.name, block_no, "transient read failure")
+        if self.stall_rate and self.rng.random() < self.stall_rate:
+            self.injected_stalls += 1
+            raise MemberStallError(file.name, block_no, self.stall_us)
         if self.bit_rot_rate and self.rng.random() < self.bit_rot_rate:
             block = file.blocks[block_no]
             bit = self.rng.randrange(len(block) * 8)

@@ -172,10 +172,15 @@ class Pager:
         Each retry charges an exponentially growing backoff (base: the
         profile's random-read positioning cost — the natural "reissue the
         request" unit) as simulated latency under the current phase and
-        counts into ``stats.io_retries``.  After ``max_read_retries``
-        failed retries the error escalates to ``PersistentIOError`` for
-        the quarantine/repair machinery.  ``ChecksumError`` is never
-        retried: the damage is on the medium and deterministic.
+        counts into ``stats.io_retries``.  A stalled request
+        (``MemberStallError``) additionally charges the hang itself —
+        the time the request sat in the device queue before timing out —
+        so a stalling member is slow in virtual time, which is exactly
+        the signal the sharding tier's hedged reads key off.  After
+        ``max_read_retries`` failed retries the error escalates to
+        ``PersistentIOError`` for the quarantine/repair machinery.
+        ``ChecksumError`` is never retried: the damage is on the medium
+        and deterministic.
         """
         retries = 0
         while True:
@@ -188,7 +193,8 @@ class Pager:
                         f"transient error persisted through {retries} retries",
                     ) from fault
                 retries += 1
-                backoff = (self.device.profile.read_positioning_us
+                backoff = getattr(fault, "stall_us", 0.0)
+                backoff += (self.device.profile.read_positioning_us
                            * (2 ** (retries - 1)))
                 self.device.stats.io_retries += 1
                 self.device.charge_latency(backoff)
@@ -218,6 +224,13 @@ class Pager:
         if self.on_block_access is not None:
             self.on_block_access("r", file.name, block_no)
         if file.memory_resident:
+            # A write-back pager's dirty frames are the authoritative
+            # copy — the device bytes are stale until the next flush —
+            # so free reads must still see them (recency-neutral peek).
+            if self.write_back:
+                dirty = self.buffer_pool.peek_dirty(file.name, block_no)
+                if dirty is not None:
+                    return dirty
             return self.device.read_block(file, block_no)
         if self._batch_depth:
             pinned = self._batch_cache.get((file.name, block_no))
@@ -508,6 +521,12 @@ class Pager:
             for block_no in wanted:
                 self.on_block_access("r", file.name, block_no)
         if file.memory_resident:
+            if self.write_back:
+                return {
+                    no: (self.buffer_pool.peek_dirty(file.name, no)
+                         or self.device.read_block(file, no))
+                    for no in wanted
+                }
             return {no: self.device.read_block(file, no) for no in wanted}
         out: Dict[int, bytes] = {}
         misses = []

@@ -111,6 +111,10 @@ class RunResult:
     write_latch_wait_us: float = 0.0  # latch stalls charged to inserts
     snapshot_reads: int = 0      # reads served at snapshot isolation
     snapshot_suppressed: int = 0  # snapshot reads hiding a not-yet-durable key
+    # -- robustness (zero unless deadlines/admission/faults are in play) --
+    shed_ops: int = 0            # ops rejected at admission or after retries
+    deadline_misses: int = 0     # completed ops that blew their deadline
+    op_retries: int = 0          # storage-fault re-executions (serving path)
     # -- sharded tier (defaults describe an unsharded index) --
     shards: int = 1              # range-partitioned shards behind the index
     replicas: int = 1            # copies per shard including the primary
@@ -118,6 +122,10 @@ class RunResult:
     #: and read fan-out, replication and log traffic — only filled when
     #: the index is a :class:`repro.sharding.ShardedIndex`.
     per_shard: Dict[int, dict] = field(default_factory=dict)
+    # -- fault tolerance (zero unless the tier absorbed member faults) --
+    failovers: int = 0           # primary promotions during the run
+    hedged_reads: int = 0        # reads re-issued to another replica
+    resync_blocks: int = 0       # log blocks scanned by catch-up resyncs
 
     @property
     def flushes_per_committed_write(self) -> float:
@@ -190,7 +198,11 @@ def run_workload(index: DiskIndex, ops: Sequence[Operation], workload: str = "",
                  commit_timeout_us: Optional[float] = 10_000.0,
                  latching: bool = True,
                  shards: Optional[int] = None,
-                 replicas: Optional[int] = None) -> RunResult:
+                 replicas: Optional[int] = None,
+                 deadline_us: Optional[float] = None,
+                 retry_budget: int = 0,
+                 max_inflight_writes: Optional[int] = None,
+                 max_queue_delay_us: Optional[float] = None) -> RunResult:
     """Execute ``ops`` against a loaded index and collect metrics.
 
     Args:
@@ -241,6 +253,13 @@ def run_workload(index: DiskIndex, ops: Sequence[Operation], workload: str = "",
             serving-engine knobs, forwarded to
             :class:`~repro.serving.ServingEngine`.  Ignored on the
             single-client path.
+        deadline_us / retry_budget / max_inflight_writes /
+        max_queue_delay_us: robustness knobs of the serving engine
+            (DESIGN.md Section 17) — per-op deadlines, per-client
+            storage-fault retry budgets, and the write admission gate.
+            Setting any of them implies the serving path, even at
+            ``clients=1`` (a deadline or retry budget silently ignored
+            would be worse than a slower code path).
         shards / replicas: assert the index's sharded topology.  A
             :class:`repro.sharding.ShardedIndex` carries its own shard
             count and replication factor; passing these makes the call
@@ -279,7 +298,10 @@ def run_workload(index: DiskIndex, ops: Sequence[Operation], workload: str = "",
         raise ValueError("fault injection is per-op; run it with batch=1")
     if batch > 1 and healer is not None:
         raise ValueError("self-healing is per-op; run it with batch=1")
-    if clients != 1 or client_ops is not None:
+    robustness = (deadline_us is not None or retry_budget
+                  or max_inflight_writes is not None
+                  or max_queue_delay_us is not None)
+    if clients != 1 or client_ops is not None or robustness:
         if batch > 1:
             raise ValueError("the serving engine schedules per-op; use batch=1")
         if healer is not None:
@@ -290,7 +312,10 @@ def run_workload(index: DiskIndex, ops: Sequence[Operation], workload: str = "",
             fault_injector=fault_injector, tracer=tracer, clients=clients,
             client_ops=client_ops, snapshot_reads=snapshot_reads,
             commit_group=commit_group, commit_timeout_us=commit_timeout_us,
-            latching=latching)
+            latching=latching, deadline_us=deadline_us,
+            retry_budget=retry_budget,
+            max_inflight_writes=max_inflight_writes,
+            max_queue_delay_us=max_queue_delay_us)
     pager: Pager = index.pager
     device = pager.device
     wal = index.wal
@@ -307,6 +332,9 @@ def run_workload(index: DiskIndex, ops: Sequence[Operation], workload: str = "",
                               if pager.buffer_pool is not None else 0)
     shard_view = (index.per_shard_snapshot()
                   if hasattr(index, "per_shard_snapshot") else None)
+    failovers_before = getattr(index, "failovers", 0)
+    hedged_before = getattr(index, "hedged_reads", 0)
+    resync_blocks_before = getattr(index, "resync_blocks", 0)
     latencies = np.empty(len(ops), dtype=np.float64)
     executed = len(ops)
     crashed_at: Optional[int] = None
@@ -501,6 +529,10 @@ def run_workload(index: DiskIndex, ops: Sequence[Operation], workload: str = "",
         replicas=actual_replicas,
         per_shard=(index.per_shard_delta(shard_view)
                    if shard_view is not None else {}),
+        failovers=getattr(index, "failovers", 0) - failovers_before,
+        hedged_reads=getattr(index, "hedged_reads", 0) - hedged_before,
+        resync_blocks=(getattr(index, "resync_blocks", 0)
+                       - resync_blocks_before),
     )
 
 
@@ -525,6 +557,9 @@ def _client_digest(session, phase_hists=None) -> dict:
         "snapshot_reads": session.snapshot_reads,
         "snapshot_suppressed": session.snapshot_suppressed,
         "committed_writes": session.committed_writes,
+        "shed_ops": session.shed_ops,
+        "deadline_misses": session.deadline_misses,
+        "retries_used": session.retries_used,
         "max_dispatch_gap": session.max_dispatch_gap(),
     }
     if phase_hists is not None:
@@ -539,7 +574,9 @@ def _run_serving(index: DiskIndex, ops: Sequence[Operation], *, workload: str,
                  clients: int, client_ops, snapshot_reads: bool,
                  commit_group: Optional[int],
                  commit_timeout_us: Optional[float],
-                 latching: bool) -> RunResult:
+                 latching: bool, deadline_us: Optional[float],
+                 retry_budget: int, max_inflight_writes: Optional[int],
+                 max_queue_delay_us: Optional[float]) -> RunResult:
     """The multi-client branch of :func:`run_workload`.
 
     Deals ``ops`` into per-client streams (unless explicit ones are
@@ -572,12 +609,18 @@ def _run_serving(index: DiskIndex, ops: Sequence[Operation], *, workload: str,
                               if pager.buffer_pool is not None else 0)
     shard_view = (index.per_shard_snapshot()
                   if hasattr(index, "per_shard_snapshot") else None)
+    failovers_before = getattr(index, "failovers", 0)
+    hedged_before = getattr(index, "hedged_reads", 0)
+    resync_blocks_before = getattr(index, "resync_blocks", 0)
 
     engine = ServingEngine(
         index, streams, scan_length=scan_length, validate=validate,
         snapshot_reads=snapshot_reads, latching=latching,
         commit_group=commit_group, commit_timeout_us=commit_timeout_us,
-        tracer=tracer, fault_injector=fault_injector)
+        tracer=tracer, fault_injector=fault_injector,
+        deadline_us=deadline_us, retry_budget=retry_budget,
+        max_inflight_writes=max_inflight_writes,
+        max_queue_delay_us=max_queue_delay_us)
     report = engine.run()
 
     delta = device.stats.diff(start)
@@ -671,8 +714,15 @@ def _run_serving(index: DiskIndex, ops: Sequence[Operation], *, workload: str,
         write_latch_wait_us=report.write_latch_wait_us,
         snapshot_reads=report.snapshot_reads,
         snapshot_suppressed=report.snapshot_suppressed,
+        shed_ops=report.shed_ops,
+        deadline_misses=report.deadline_misses,
+        op_retries=report.op_retries,
         shards=getattr(index, "num_shards", 1),
         replicas=getattr(index, "replication_factor", 1),
         per_shard=(index.per_shard_delta(shard_view)
                    if shard_view is not None else {}),
+        failovers=getattr(index, "failovers", 0) - failovers_before,
+        hedged_reads=getattr(index, "hedged_reads", 0) - hedged_before,
+        resync_blocks=(getattr(index, "resync_blocks", 0)
+                       - resync_blocks_before),
     )

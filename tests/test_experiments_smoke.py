@@ -30,6 +30,9 @@ NARROW = {
     "fault_sweep": {"transient_rates": (0.0, 1e-3)},
     "concurrency": {"client_counts": (1, 4)},
     "sharding": {"shard_counts": (1, 2)},
+    # A micro run charges few device reads, so the member-crash
+    # countdown must be short for the crash to fire at all.
+    "chaos": {"fault_rates": (0.0, 1e-2), "crash_after": 5},
 }
 
 

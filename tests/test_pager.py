@@ -144,3 +144,25 @@ def test_memory_resident_file_bypasses_caches(pager):
     assert pager.read_block(f, 0) == b"\x01" * 4096
     assert pager.stats.reads == 0
     assert pager.stats.writes == 0
+
+
+def test_memory_resident_reads_see_unflushed_dirty_frames():
+    """Free reads under a write-back pager must serve the dirty frame —
+    the device copy is stale until the next flush."""
+    device = BlockDevice(4096, HDD)
+    pager = Pager(device, buffer_pool=BufferPool(8), write_back=True)
+    f = _prepared(pager)
+    pager.write_block(f, 0, b"\x42" * 4096)   # dirty frame, not on device
+    assert bytes(f.blocks[0]) != b"\x42" * 4096
+    f.memory_resident = True
+    hits_before = pager.buffer_pool.hits
+    assert pager.read_block(f, 0) == b"\x42" * 4096
+    assert pager.read_span(f, [0]) == {0: b"\x42" * 4096}
+    # The peek is recency- and counter-neutral: not a cache probe.
+    assert pager.buffer_pool.hits == hits_before
+    assert pager.stats.reads == 0
+    # Once flushed, the device copy is current and serves as before.
+    f.memory_resident = False
+    pager.flush()
+    f.memory_resident = True
+    assert pager.read_block(f, 0) == b"\x42" * 4096

@@ -444,8 +444,11 @@ def test_per_shard_delta_counts_reseeded_replicas_whole():
     snap = index.per_shard_snapshot()
     # Pretend the snapshot predates the second member (a replica
     # re-seeded after recovery): its full stats are its own delta.
-    snap[0]["stats"] = snap[0]["stats"][:1]
-    snap[0]["reads_served"] = snap[0]["reads_served"][:1]
+    # Snapshots key by member identity, so dropping the entry is
+    # exactly what a swapped-in fresh member looks like.
+    replaced = index.shards[0].replicas[0]
+    del snap[0]["stats"][id(replaced)]
+    del snap[0]["reads_served"][id(replaced)]
     index.lookup_many(keys[:10])
     delta = index.per_shard_delta(snap)
     assert len(delta[0]["reads_served"]) == 2

@@ -158,6 +158,62 @@ def test_whole_tier_power_loss_through_the_runner():
     index.verify()
 
 
+def test_recover_keeps_write_back_pager_config_on_every_member():
+    """Crash + recover under a write-back pager: the adopted primary and
+    re-seeded replicas keep the shard's storage configuration (pool,
+    write-back, flush watermark) instead of silently downgrading to
+    pass-through defaults, and the recovery contract still holds with
+    dirty frames dropped at the crash."""
+    from repro.storage import NULL_DEVICE
+
+    keys = random_sorted_keys(240, seed=17, key_space=KEY_SPACE)
+    index = make_sharded("btree", 2, sample_keys=keys, durability=True,
+                         group_commit=4, replicas=2, buffer_blocks=16,
+                         write_back=True, flush_watermark=8)
+    index.bulk_load(items_of(keys))
+    checkpoints = [shard.checkpoint() for shard in index.shards]
+
+    victim = index.shards[1]
+    assert victim.primary.pager.write_back is True  # the config is live
+    fresh = fresh_keys_for(index, 1, 9, start=0)
+    for key in fresh:
+        index.durable_insert(key, key % 100 + 1)
+    assert victim.wal.durable_seqno == 8  # 9 records at group_commit=4
+
+    # The crash drops the WAL tail *and* every dirty write-back frame.
+    FaultInjector().crash(victim.wal, op_index=5,
+                          pager=victim.primary.pager)
+    acked = victim.wal.durable_seqno
+    result = victim.recover(checkpoints[1])
+    assert result.last_seqno == acked
+    assert result.records_applied == acked
+
+    # Every member — the adopted primary and both re-seeded replicas —
+    # keeps the shard's pager configuration through recovery.
+    for member in victim.members():
+        assert member.pager.write_back is True, member
+        assert member.pager.flush_watermark == 8, member
+        assert member.pager.buffer_pool is not None, member
+        assert member.pager.buffer_pool.capacity == 16, member
+        assert member.device.profile is NULL_DEVICE
+    # ...and each member owns its *own* pool: shared frames would let
+    # one member's reads hit another member's cache.
+    pools = {id(m.pager.buffer_pool) for m in victim.members()}
+    assert len(pools) == victim.replication_factor
+
+    # The recovery contract is unchanged: exactly the acked prefix.
+    for j, key in enumerate(fresh):
+        expected = key % 100 + 1 if j + 1 <= acked else None
+        assert index.lookup(key) == expected, (j, key)
+    # The tier serves and logs on; replicas agree with the primary.
+    next_key = fresh_keys_for(index, 1, 20, start=0)[19]
+    index.durable_insert(next_key, 7)
+    assert victim.wal.next_seqno == acked + 2
+    index.wal.flush()
+    assert index.lookup(next_key) == 7
+    index.verify()
+
+
 def test_crash_requires_durability():
     index = make_sharded("btree", 2, boundaries=[500])
     index.bulk_load(items_of([1, 2, 1000]))
